@@ -1,0 +1,47 @@
+"""Shared driver for the Table 1-3 quality benchmarks."""
+
+from __future__ import annotations
+
+from repro.data.corpus import DatasetScale
+from repro.data.queries import QueryCategory
+from repro.eval.runner import evaluate_method
+
+from conftest import BENCH_K, qrels_cell
+
+SCALES = (DatasetScale.LARGE, DatasetScale.MODERATE, DatasetScale.SMALL)
+
+
+def regenerate_quality_table(
+    corpus, splits, searchers_by_scale, category: QueryCategory, title: str
+) -> str:
+    """Evaluate every method per scale and render the paper-style table."""
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{'Dataset':8} {'Method':6} {'MAP':>6} {'MRR':>6} "
+        + " ".join(f"N@{k:<3}" for k in (5, 10, 15, 20))
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for scale in SCALES:
+        qrels = qrels_cell(corpus, splits, category, scale)
+        rows = []
+        for name, searcher in searchers_by_scale[scale].items():
+            report = evaluate_method(searcher, qrels, k=BENCH_K, method_name=name)
+            rows.append(report)
+        rows.sort(key=lambda r: -r.map)
+        for i, report in enumerate(rows):
+            label = scale.value if i == 0 else ""
+            ndcg = " ".join(f"{report.ndcg[k]:.3f}" for k in (5, 10, 15, 20))
+            lines.append(
+                f"{label:8} {report.method.upper():6} {report.map:6.3f} "
+                f"{report.mrr:6.3f} {ndcg}"
+            )
+        lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+def assert_table_sanity(table: str) -> None:
+    """Loose invariants every regenerated quality table must satisfy."""
+    assert "LD" in table and "MD" in table and "SD" in table
+    for method in ("CTS", "ANNS", "EXS", "MDR", "WS", "TCS", "ADH", "TML"):
+        assert method in table

@@ -1,0 +1,73 @@
+"""Shared state for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures over
+the same bench corpus (a scaled-down WikiTables-like corpus); corpus
+generation, embedding and index construction happen once per session
+here, so the benchmarks measure query-time work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BASELINE_NAMES, make_baseline
+from repro.core.engine import DiscoveryEngine
+from repro.data.corpus import DatasetScale
+from repro.data.queries import QueryCategory
+from repro.data.wikitables import generate_wikitables_corpus
+from repro.eval.qrels import Qrels
+from repro.eval.splits import train_test_split_pairs
+
+#: Bench scale: large enough for the orderings to show, small enough
+#: for the whole suite to run in minutes.
+BENCH_TABLES = 150
+BENCH_DIM = 192
+BENCH_K = 50
+CORE_METHODS = ("cts", "anns", "exs")
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    return generate_wikitables_corpus(n_tables=BENCH_TABLES)
+
+
+@pytest.fixture(scope="session")
+def bench_splits(bench_corpus):
+    return train_test_split_pairs(bench_corpus.qrels, seed=0)
+
+
+@pytest.fixture(scope="session")
+def searchers_by_scale(bench_corpus, bench_splits):
+    """name -> searcher, per dataset scale, built once per session."""
+    train_qrels, _ = bench_splits
+    by_scale = {}
+    for scale in (DatasetScale.LARGE, DatasetScale.MODERATE, DatasetScale.SMALL):
+        federation = bench_corpus.federation(scale)
+        engine = DiscoveryEngine(dim=BENCH_DIM)
+        engine.index(federation)
+        scale_ids = {
+            bench_corpus.qualified_id(r)
+            for r in bench_corpus.partition_relations(scale)
+        }
+        scoped_train = train_qrels.restrict_to(scale_ids)
+        searchers = {name: engine.method(name) for name in CORE_METHODS}
+        for name in BASELINE_NAMES:
+            baseline = make_baseline(name)
+            baseline.index_federation(federation, engine.embeddings)
+            if hasattr(baseline, "fit"):
+                baseline.fit(scoped_train.pairs())
+            searchers[name] = baseline
+        by_scale[scale] = searchers
+    return by_scale
+
+
+def qrels_cell(corpus, splits, category: QueryCategory, scale: DatasetScale) -> Qrels:
+    """The evaluation qrels of one (category, scale) cell."""
+    _, test_qrels = splits
+    scale_ids = {corpus.qualified_id(r) for r in corpus.partition_relations(scale)}
+    texts = set(corpus.query_texts(category))
+    scoped = Qrels()
+    for query, relation_id, grade in test_qrels.restrict_to(scale_ids).pairs():
+        if query in texts:
+            scoped.add(query, relation_id, grade)
+    return scoped

@@ -1,0 +1,44 @@
+"""Ablation: HDBSCAN granularity and selection method in CTS.
+
+DESIGN.md design choices: CTS uses leaf cluster selection (EOM keeps
+one giant low-density cluster of generic values) and scales
+min_cluster_size with corpus size.  This bench quantifies both.
+"""
+
+from repro.core.cts import ClusteredTargetedSearch
+from repro.data.corpus import DatasetScale
+from repro.data.queries import QueryCategory
+from repro.eval.runner import evaluate_method
+
+from conftest import BENCH_K, qrels_cell
+
+CONFIGS = (
+    ("leaf/15", {"cluster_selection_method": "leaf", "min_cluster_size": 15}),
+    ("leaf/40", {"cluster_selection_method": "leaf", "min_cluster_size": 40}),
+    ("eom/15", {"cluster_selection_method": "eom", "min_cluster_size": 15}),
+)
+
+
+def test_ablation_cluster_selection(benchmark, bench_corpus, bench_splits, searchers_by_scale):
+    embeddings = searchers_by_scale[DatasetScale.LARGE]["exs"].embeddings
+    qrels = qrels_cell(
+        bench_corpus, bench_splits, QueryCategory.SHORT, DatasetScale.LARGE
+    )
+
+    def measure():
+        rows = []
+        for label, params in CONFIGS:
+            cts = ClusteredTargetedSearch(**params)
+            cts.index(embeddings)
+            quality = evaluate_method(cts, qrels, k=BENCH_K).map
+            sizes = sorted(cts.cluster_sizes().values(), reverse=True)
+            biggest_share = sizes[0] / sum(sizes)
+            rows.append((label, quality, cts.n_clusters, biggest_share))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nAblation: CTS cluster selection (SQ, LD)")
+    print(f"{'config':8} {'MAP':>6} {'clusters':>9} {'largest share':>14}")
+    for label, quality, clusters, share in rows:
+        print(f"{label:8} {quality:6.3f} {clusters:9d} {share:13.1%}")
+    assert len(rows) == len(CONFIGS)

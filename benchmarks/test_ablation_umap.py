@@ -1,0 +1,44 @@
+"""Ablation: UMAP target dimensionality and the PCA pre-reduction in CTS.
+
+DESIGN.md design choices: CTS reduces value vectors with (PCA ->) UMAP
+before clustering.  This bench sweeps the UMAP output dimensionality
+and toggles the PCA stage, reporting retrieval quality and the cluster
+structure each configuration produces.
+"""
+
+from repro.core.cts import ClusteredTargetedSearch
+from repro.data.corpus import DatasetScale
+from repro.data.queries import QueryCategory
+from repro.eval.runner import evaluate_method
+
+from conftest import BENCH_K, qrels_cell
+
+CONFIGS = (
+    ("umap4", {"umap_components": 4}),
+    ("umap16", {"umap_components": 16}),
+    ("umap32", {"umap_components": 32}),
+    ("no-pca", {"umap_components": 16, "pca_components": 0}),
+)
+
+
+def test_ablation_umap_configuration(benchmark, bench_corpus, bench_splits, searchers_by_scale):
+    embeddings = searchers_by_scale[DatasetScale.LARGE]["exs"].embeddings
+    qrels = qrels_cell(
+        bench_corpus, bench_splits, QueryCategory.SHORT, DatasetScale.LARGE
+    )
+
+    def measure():
+        rows = []
+        for label, params in CONFIGS:
+            cts = ClusteredTargetedSearch(**params)
+            cts.index(embeddings)
+            quality = evaluate_method(cts, qrels, k=BENCH_K).map
+            rows.append((label, quality, cts.n_clusters, cts.n_noise_points))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nAblation: CTS reduction configuration (SQ, LD)")
+    print(f"{'config':8} {'MAP':>6} {'clusters':>9} {'noise pts':>10}")
+    for label, quality, clusters, noise in rows:
+        print(f"{label:8} {quality:6.3f} {clusters:9d} {noise:10d}")
+    assert all(r[2] >= 1 for r in rows)

@@ -1,0 +1,28 @@
+"""Regenerates Table 1 of the paper: quality of LONG query results.
+
+Paper reference (WikiTables, LD row): CTS MAP 0.705 > ANNS 0.685 >
+ExS 0.670 > MDR 0.655 > WS 0.640 > TCS 0.635 > AdH 0.620 > TML 0.610.
+We reproduce the table's *shape* on the synthetic corpus; absolute
+numbers differ (see EXPERIMENTS.md).
+"""
+
+from repro.data.queries import QueryCategory
+
+from _quality import assert_table_sanity, regenerate_quality_table
+
+
+def test_table1_long_queries(benchmark, bench_corpus, bench_splits, searchers_by_scale):
+    table = benchmark.pedantic(
+        regenerate_quality_table,
+        args=(
+            bench_corpus,
+            bench_splits,
+            searchers_by_scale,
+            QueryCategory.LONG,
+            "Table 1: Quality of long query results",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert_table_sanity(table)
+    print("\n" + table)

@@ -1,0 +1,26 @@
+"""Regenerates Table 2 of the paper: quality of MODERATE query results.
+
+Paper reference (WikiTables, LD row): CTS MAP 0.755 > ANNS 0.735 >
+ExS 0.720 > MDR 0.710 > WS 0.700 > TCS 0.690 > AdH 0.675 > TML 0.620.
+"""
+
+from repro.data.queries import QueryCategory
+
+from _quality import assert_table_sanity, regenerate_quality_table
+
+
+def test_table2_moderate_queries(benchmark, bench_corpus, bench_splits, searchers_by_scale):
+    table = benchmark.pedantic(
+        regenerate_quality_table,
+        args=(
+            bench_corpus,
+            bench_splits,
+            searchers_by_scale,
+            QueryCategory.MODERATE,
+            "Table 2: Quality of moderate query results",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert_table_sanity(table)
+    print("\n" + table)

@@ -1,0 +1,54 @@
+"""Regenerates Table 3 of the paper: quality of SHORT query results.
+
+Paper reference (WikiTables, LD row): CTS MAP 0.810 > ANNS 0.790 >
+ExS 0.770 > TML 0.755 > MDR 0.740 > WS 0.725 > TCS 0.710 > AdH 0.650.
+TML should improve as the corpus shrinks (SD row) — its context-window
+share per table grows.
+"""
+
+from repro.data.corpus import DatasetScale
+from repro.data.queries import QueryCategory
+
+from _quality import assert_table_sanity, regenerate_quality_table
+from conftest import BENCH_K, qrels_cell
+
+
+def test_table3_short_queries(benchmark, bench_corpus, bench_splits, searchers_by_scale):
+    table = benchmark.pedantic(
+        regenerate_quality_table,
+        args=(
+            bench_corpus,
+            bench_splits,
+            searchers_by_scale,
+            QueryCategory.SHORT,
+            "Table 3: Quality of short query results",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert_table_sanity(table)
+    print("\n" + table)
+
+
+def test_tml_improves_on_smaller_corpora(benchmark, bench_corpus, bench_splits, searchers_by_scale):
+    """The paper's TML-specific finding: token-limited LLM matching is
+    competitive on small corpora and degrades as the corpus grows
+    (its per-table context share shrinks)."""
+
+    def measure():
+        from repro.eval.runner import evaluate_method
+
+        budgets = {}
+        maps = {}
+        for scale in (DatasetScale.LARGE, DatasetScale.SMALL):
+            tml = searchers_by_scale[scale]["tml"]
+            budgets[scale.value] = tml.table_token_budget
+            qrels = qrels_cell(bench_corpus, bench_splits, QueryCategory.SHORT, scale)
+            maps[scale.value] = evaluate_method(tml, qrels, k=BENCH_K).map
+        return budgets, maps
+
+    budgets, maps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nTML per-table token budget: LD={budgets['LD']} SD={budgets['SD']}")
+    print(f"TML short-query MAP:        LD={maps['LD']:.3f} SD={maps['SD']:.3f}")
+    # the mechanism: smaller corpus => larger per-table share
+    assert budgets["SD"] > budgets["LD"]

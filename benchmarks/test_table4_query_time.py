@@ -1,0 +1,52 @@
+"""Regenerates Table 4 of the paper: query time (ms), CTS vs ANNS.
+
+Paper reference: CTS is faster than ANNS at every (dataset size, query
+length) cell — e.g. 75 vs 100 ms for long queries on the full dataset.
+Absolute milliseconds differ on our substrate; the CTS < ANNS ordering
+is the reproduced claim.
+"""
+
+from repro.data.corpus import DatasetScale
+from repro.data.queries import QueryCategory
+from repro.eval.timing import time_queries
+
+SCALES = (DatasetScale.LARGE, DatasetScale.MODERATE, DatasetScale.SMALL)
+CATEGORIES = (
+    (QueryCategory.LONG, "Long"),
+    (QueryCategory.MODERATE, "Moderate"),
+    (QueryCategory.SHORT, "Short"),
+)
+SCALE_LABELS = {"LD": "100%", "MD": "50%", "SD": "10%"}
+
+
+def test_table4_cts_vs_anns_query_time(benchmark, bench_corpus, searchers_by_scale):
+    def measure():
+        rows = []
+        for scale in SCALES:
+            for category, label in CATEGORIES:
+                queries = bench_corpus.query_texts(category)[:5]
+                cts_ms = time_queries(
+                    searchers_by_scale[scale]["cts"], queries, k=20, warmup=1
+                ).mean_ms
+                anns_ms = time_queries(
+                    searchers_by_scale[scale]["anns"], queries, k=20, warmup=1
+                ).mean_ms
+                rows.append((SCALE_LABELS[scale.value], label, cts_ms, anns_ms))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    title = "Table 4: Query Time (milliseconds) for CTS vs. ANNS"
+    lines = [title, "=" * len(title), f"{'Dataset':8} {'Query':9} {'CTS':>8} {'ANNS':>8}"]
+    last = None
+    faster = 0
+    for scale, label, cts_ms, anns_ms in rows:
+        shown = scale if scale != last else ""
+        last = scale
+        lines.append(f"{shown:8} {label:9} {cts_ms:8.2f} {anns_ms:8.2f}")
+        faster += cts_ms < anns_ms
+    print("\n" + "\n".join(lines))
+
+    # the paper's claim: CTS consistently faster; require a clear majority
+    # of cells (timing noise allows an occasional flip)
+    assert faster >= 6, f"CTS faster in only {faster}/9 cells"

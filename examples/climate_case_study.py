@@ -1,0 +1,35 @@
+"""The Sec 5.3 case study: "Climate Change Effects Europe 2020".
+
+Builds a corpus with the paper's confounder structure — climate tables
+about the wrong region, about the wrong year, and unrelated tables —
+and shows how each search method handles the focused query.
+
+Run:
+    python examples/climate_case_study.py
+"""
+
+from repro.experiments.casestudy import CASE_STUDY_QUERY, run_case_study
+
+
+def main() -> None:
+    print(f'query: "{CASE_STUDY_QUERY}"')
+    print(
+        "corpus: climate/Europe/2020 targets + wrong-region and "
+        "wrong-year climate confounders + unrelated tables\n"
+    )
+    reports = run_case_study(dim=256, n_per_group=5, k=5)
+    for method in ("exs", "anns", "cts"):
+        report = reports[method]
+        print(report.summary())
+    print(
+        "\nReading the output: all tables share the climate topic, so"
+        "\nonly the region/year facet cells separate targets from"
+        "\nconfounders.  CTS routes the query into the relevant"
+        "\nclusters and surfaces targets early; ExS recovers them"
+        "\nthrough its full scan; ANNS's fixed candidate budget blends"
+        "\nthe confounders in (the paper's Sec 5.3 observation)."
+    )
+
+
+if __name__ == "__main__":
+    main()

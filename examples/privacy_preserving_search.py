@@ -1,0 +1,84 @@
+"""Privacy-preserving federation search with vector-DB snapshots.
+
+The paper motivates embeddings for federations where "datasets are not
+allowed to leave the original premises": embeddings are not inherently
+reversible, so each site can publish only its value vectors.  This
+example simulates that flow:
+
+1. each site builds its own relation embeddings locally;
+2. only the vectors + coarse metadata are exported into a shared
+   vector database snapshot (no cell values cross the boundary);
+3. the search coordinator loads the snapshot and answers queries,
+   returning dataset identifiers — the analyst then requests access
+   from the owning site.
+
+Run:
+    python examples/privacy_preserving_search.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core.semimg import build_relation_embedding
+from repro.data.covid import cdc_relation, ecdc_relation, who_relation
+from repro.embedding import CachingEncoder, SemanticHashEncoder
+from repro.linalg.distances import Metric
+from repro.vectordb import Point, VectorDatabase
+
+
+def site_export(site: str, relation, encoder, db: VectorDatabase) -> None:
+    """What runs inside each site: embed locally, export vectors only."""
+    embedding = build_relation_embedding(f"{site}/{relation.name}", relation, encoder)
+    collection = db.get_collection("federation")
+    start = len(collection)
+    collection.upsert(
+        [
+            Point(
+                id=start + row,
+                vector=embedding.vectors[row],
+                # NOTE: the payload carries the dataset id and column
+                # name, but never the cell value itself.
+                payload={"site": site, "dataset": embedding.relation_id,
+                         "column": embedding.attr_names[row]},
+            )
+            for row in range(embedding.n_unique)
+        ]
+    )
+
+
+def main() -> None:
+    encoder = CachingEncoder(SemanticHashEncoder(dim=256))
+    db = VectorDatabase()
+    db.create_collection("federation", dim=256, metric=Metric.COSINE)
+
+    for site, relation in (
+        ("who.int", who_relation()),
+        ("cdc.gov", cdc_relation()),
+        ("ecdc.europa.eu", ecdc_relation()),
+    ):
+        site_export(site, relation, encoder, db)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshot = Path(tmp) / "federation-snapshot"
+        db.save(snapshot)
+        print(f"exported snapshot: {sorted(p.name for p in snapshot.iterdir())}\n")
+
+        coordinator = VectorDatabase.load(snapshot)
+        collection = coordinator.get_collection("federation")
+        collection.create_index("hnsw", m=8, ef_construction=40)
+
+        query = "covid vaccine doses"
+        q = encoder.encode_one(query)
+        print(f"query: {query!r}")
+        seen = {}
+        for hit in collection.search(q, k=12):
+            dataset = hit.payload["dataset"]
+            if dataset not in seen:
+                seen[dataset] = (hit.score, hit.payload["site"], hit.payload["column"])
+        for dataset, (score, site, column) in sorted(seen.items(), key=lambda kv: -kv[1][0]):
+            print(f"   {score:6.3f}  {dataset:20} (owner {site}, first match in {column!r})")
+        print("\nNo cell value ever left its site — only embeddings did.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: index a federation and search it with all three methods.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core import DiscoveryEngine
+from repro.datamodel import Federation, Relation
+
+
+def main() -> None:
+    # 1. Describe some datasets.  In a real deployment these would be
+    #    loaded from CSV files (repro.datamodel.relation_from_csv) or a
+    #    catalogue; embeddings never expose the raw values, so the data
+    #    itself can stay on-premises.
+    relations = [
+        Relation(
+            "eu_vaccinations",
+            ["Country", "Date", "Vaccine", "Doses"],
+            [
+                ["germany", "2021-03-01", "comirnaty", "120000"],
+                ["france", "2021-03-01", "vaxzevria", "98000"],
+                ["spain", "2021-04-01", "comirnaty", "87000"],
+            ],
+            caption="vaccination rollout in the european union",
+        ),
+        Relation(
+            "league_results",
+            ["Team", "Season", "Points"],
+            [
+                ["ajax", "2021", "83"],
+                ["psv", "2021", "79"],
+            ],
+            caption="football league final standings",
+        ),
+        Relation(
+            "energy_production",
+            ["Country", "Source", "Output"],
+            [
+                ["germany", "wind", "131000"],
+                ["france", "nuclear", "379000"],
+            ],
+            caption="electricity generation by source",
+        ),
+    ]
+    federation = Federation.from_relations(relations, name="demo")
+
+    # 2. Index once; the engine embeds every attribute value.
+    engine = DiscoveryEngine(
+        dim=256,
+        method_params={"cts": {"min_cluster_size": 5, "umap_neighbors": 6}},
+    )
+    engine.index(federation)
+
+    # 3. Search.  Note the query terms never appear verbatim in the
+    #    vaccination table — the match is semantic.
+    query = "covid immunization statistics"
+    print(f"query: {query!r}\n")
+    for method in ("exs", "anns", "cts"):
+        result = engine.search(query, method=method, k=3, h=-1.0)
+        print(f"[{method.upper()}] ({result.elapsed_ms:.1f} ms)")
+        for match in result:
+            print(f"   {match.score:6.3f}  {match.relation_id}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

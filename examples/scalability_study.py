@@ -1,0 +1,45 @@
+"""Scalability study: query latency across the SD/MD/LD partitions.
+
+A miniature of the paper's Sec 5.4 performance evaluation: the same
+query set is timed against the 10%, 50% and 100% partitions of the
+WikiTables-like corpus for each search method.
+
+Run:
+    python examples/scalability_study.py
+"""
+
+from repro.core import DiscoveryEngine
+from repro.data import DatasetScale, generate_wikitables_corpus
+from repro.data.queries import QueryCategory
+from repro.eval import time_queries
+
+
+def main() -> None:
+    corpus = generate_wikitables_corpus(n_tables=150)
+    queries = corpus.query_texts(QueryCategory.MODERATE)[:5]
+    scales = (DatasetScale.SMALL, DatasetScale.MODERATE, DatasetScale.LARGE)
+
+    print(f"{'scale':6} {'tables':>7} {'vectors':>8} {'CTS':>8} {'ANNS':>8} {'ExS':>8}")
+    for scale in scales:
+        federation = corpus.federation(scale)
+        engine = DiscoveryEngine(dim=192)
+        engine.index(federation)
+        timings = {}
+        for method in ("cts", "anns", "exs"):
+            timings[method] = time_queries(
+                engine.method(method), queries, k=20, warmup=1
+            ).mean_ms
+        print(
+            f"{scale.value:6} {federation.num_relations:7d} "
+            f"{engine.embeddings.total_vectors:8d} "
+            f"{timings['cts']:8.2f} {timings['anns']:8.2f} {timings['exs']:8.2f}"
+        )
+    print(
+        "\nExS's per-attribute scan cost grows linearly with the corpus;\n"
+        "CTS grows much more slowly because its per-query work is bounded\n"
+        "by the routed clusters rather than the corpus size."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Approximate nearest-neighbour substrate: brute force, HNSW, PQ, IVF.
+
+These are from-scratch implementations of the components the paper uses
+through Qdrant/FAISS: the HNSW proximity-graph index (Malkov & Yashunin,
+2018) and Product Quantization (Jégou, Douze & Schmid, 2011), plus a
+brute-force reference and an IVF-Flat extension.
+"""
+
+from repro.ann.base import VectorIndex
+from repro.ann.bruteforce import BruteForceIndex
+from repro.ann.hnsw import HNSWIndex
+from repro.ann.ivf import IVFFlatIndex
+from repro.ann.pq import PQIndex, ProductQuantizer
+
+__all__ = [
+    "BruteForceIndex",
+    "HNSWIndex",
+    "IVFFlatIndex",
+    "PQIndex",
+    "ProductQuantizer",
+    "VectorIndex",
+]

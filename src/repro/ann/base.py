@@ -1,0 +1,83 @@
+"""Common interface for all vector indexes."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, EmptyIndexError
+from repro.linalg.distances import Metric
+
+__all__ = ["VectorIndex", "SearchHit"]
+
+
+class SearchHit:
+    """A single nearest-neighbour result: internal row id + score.
+
+    ``score`` follows the library-wide convention that larger is more
+    similar (euclidean distances are negated by the similarity kernels).
+    """
+
+    __slots__ = ("index", "score")
+
+    def __init__(self, index: int, score: float):
+        self.index = index
+        self.score = score
+
+    def __repr__(self) -> str:
+        return f"SearchHit(index={self.index}, score={self.score:.4f})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SearchHit):
+            return NotImplemented
+        return self.index == other.index and self.score == other.score
+
+
+class VectorIndex(abc.ABC):
+    """A k-NN index over a fixed set of vectors.
+
+    Concrete indexes are built once with :meth:`build` (or incrementally
+    where supported) and then queried with :meth:`search`.
+    """
+
+    def __init__(self, metric: Metric = Metric.COSINE):
+        self.metric = metric
+        self._dim: int | None = None
+
+    @property
+    def dim(self) -> int | None:
+        """Dimensionality of indexed vectors (None before build)."""
+        return self._dim
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of vectors currently indexed."""
+
+    @abc.abstractmethod
+    def build(self, vectors: np.ndarray) -> "VectorIndex":
+        """(Re)build the index over ``vectors`` of shape ``(n, dim)``."""
+
+    @abc.abstractmethod
+    def search(self, query: np.ndarray, k: int) -> list[SearchHit]:
+        """Return up to ``k`` nearest rows to ``query``, best first."""
+
+    # -- shared validation helpers -------------------------------------
+
+    def _validate_build(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.ascontiguousarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise DimensionMismatchError("index expects a 2-D (n, dim) array")
+        self._dim = vectors.shape[1]
+        return vectors
+
+    def _validate_query(self, query: np.ndarray) -> np.ndarray:
+        if self.size == 0:
+            raise EmptyIndexError(f"{type(self).__name__} is empty")
+        query = np.asarray(query, dtype=np.float64).ravel()
+        if self._dim is not None and query.shape[0] != self._dim:
+            raise DimensionMismatchError(
+                f"query dim {query.shape[0]} != index dim {self._dim}"
+            )
+        return query

@@ -1,0 +1,53 @@
+"""Exact k-NN by full scan — the reference every ANN index is tested against."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ann.base import SearchHit, VectorIndex
+from repro.linalg.distances import Metric, normalize_rows, pairwise_similarity
+from repro.linalg.topk import top_k_indices
+
+__all__ = ["BruteForceIndex"]
+
+
+class BruteForceIndex(VectorIndex):
+    """Exact nearest-neighbour search via a vectorized full scan.
+
+    For cosine similarity the stored matrix is pre-normalized so each
+    query costs one matrix-vector product.
+    """
+
+    def __init__(self, metric: Metric = Metric.COSINE):
+        super().__init__(metric)
+        self._vectors = np.empty((0, 0), dtype=np.float64)
+
+    @property
+    def size(self) -> int:
+        return self._vectors.shape[0]
+
+    def build(self, vectors: np.ndarray) -> "BruteForceIndex":
+        vectors = self._validate_build(vectors)
+        if self.metric is Metric.COSINE:
+            vectors = normalize_rows(vectors)
+        self._vectors = vectors
+        return self
+
+    def search(self, query: np.ndarray, k: int) -> list[SearchHit]:
+        query = self._validate_query(query)
+        if self.metric is Metric.COSINE:
+            scores = normalize_rows(query) @ self._vectors.T
+        else:
+            scores = pairwise_similarity(query, self._vectors, self.metric)[0]
+        best = top_k_indices(scores, k)
+        return [SearchHit(int(i), float(scores[i])) for i in best]
+
+    def search_batch(self, queries: np.ndarray, k: int) -> list[list[SearchHit]]:
+        """Exact k-NN for a batch of queries (one matrix product)."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        scores = pairwise_similarity(queries, self._vectors, self.metric)
+        results = []
+        for row in scores:
+            best = top_k_indices(row, k)
+            results.append([SearchHit(int(i), float(row[i])) for i in best])
+        return results

@@ -1,0 +1,207 @@
+"""Product Quantization (Jégou, Douze & Schmid, 2011).
+
+The paper compresses value embeddings with PQ before indexing them in
+the vector database (Sec 4.2): each vector is split into ``m``
+subvectors, each subvector is quantized to its nearest centroid in a
+per-subspace codebook, and queries are scored against the compressed
+codes with asymmetric distance computation (ADC) — one lookup table per
+subspace, one table lookup per code byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ann.base import SearchHit, VectorIndex
+from repro.errors import ConfigurationError, DimensionMismatchError, NotFittedError
+from repro.linalg.distances import Metric, normalize_rows
+from repro.linalg.kmeans import KMeans
+from repro.linalg.topk import top_k_indices
+
+__all__ = ["ProductQuantizer", "PQIndex"]
+
+
+class ProductQuantizer:
+    """Trainable product quantizer with ADC scoring.
+
+    Parameters
+    ----------
+    n_subvectors:
+        Number of subspaces ``m``; must divide the vector dimension.
+    n_centroids:
+        Codebook size per subspace (<= 256 so codes fit in uint8).
+    kmeans_iters / seed:
+        Codebook training controls.
+    """
+
+    def __init__(
+        self,
+        n_subvectors: int = 8,
+        n_centroids: int = 256,
+        kmeans_iters: int = 25,
+        seed: int = 0,
+    ) -> None:
+        if n_subvectors < 1:
+            raise ConfigurationError("n_subvectors must be >= 1")
+        if not 2 <= n_centroids <= 256:
+            raise ConfigurationError("n_centroids must be in [2, 256] (uint8 codes)")
+        self.n_subvectors = n_subvectors
+        self.n_centroids = n_centroids
+        self.kmeans_iters = kmeans_iters
+        self.seed = seed
+        self.codebooks_: np.ndarray | None = None  # (m, k, sub_dim)
+        self._sub_dim: int | None = None
+
+    # -- training -------------------------------------------------------
+
+    def fit(self, vectors: np.ndarray) -> "ProductQuantizer":
+        """Learn per-subspace codebooks from training vectors."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ConfigurationError("fit expects a 2-D (n, dim) array")
+        n, dim = vectors.shape
+        if dim % self.n_subvectors != 0:
+            raise ConfigurationError(
+                f"dim {dim} not divisible by n_subvectors {self.n_subvectors}"
+            )
+        self._sub_dim = dim // self.n_subvectors
+        k = min(self.n_centroids, n)
+        codebooks = np.zeros((self.n_subvectors, k, self._sub_dim))
+        for m in range(self.n_subvectors):
+            sub = vectors[:, m * self._sub_dim : (m + 1) * self._sub_dim]
+            km = KMeans(n_clusters=k, max_iter=self.kmeans_iters, seed=self.seed + m)
+            km.fit(sub)
+            assert km.centroids_ is not None
+            codebooks[m, : km.centroids_.shape[0]] = km.centroids_
+        self.codebooks_ = codebooks
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.codebooks_ is not None
+
+    def _require_fitted(self) -> np.ndarray:
+        if self.codebooks_ is None:
+            raise NotFittedError("ProductQuantizer used before fit")
+        return self.codebooks_
+
+    def _check_dim(self, dim: int) -> None:
+        assert self._sub_dim is not None
+        expected = self._sub_dim * self.n_subvectors
+        if dim != expected:
+            raise DimensionMismatchError(f"expected dim {expected}, got {dim}")
+
+    # -- encode / decode --------------------------------------------------
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Quantize vectors to uint8 codes of shape ``(n, m)``."""
+        codebooks = self._require_fitted()
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        self._check_dim(vectors.shape[1])
+        assert self._sub_dim is not None
+        n = vectors.shape[0]
+        codes = np.zeros((n, self.n_subvectors), dtype=np.uint8)
+        for m in range(self.n_subvectors):
+            sub = vectors[:, m * self._sub_dim : (m + 1) * self._sub_dim]
+            # (n, k) squared distances to this subspace's centroids
+            d2 = (
+                np.sum(sub**2, axis=1)[:, np.newaxis]
+                - 2.0 * sub @ codebooks[m].T
+                + np.sum(codebooks[m] ** 2, axis=1)[np.newaxis, :]
+            )
+            codes[:, m] = np.argmin(d2, axis=1).astype(np.uint8)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct approximate vectors from codes."""
+        codebooks = self._require_fitted()
+        codes = np.atleast_2d(np.asarray(codes))
+        assert self._sub_dim is not None
+        n = codes.shape[0]
+        out = np.zeros((n, self._sub_dim * self.n_subvectors))
+        for m in range(self.n_subvectors):
+            out[:, m * self._sub_dim : (m + 1) * self._sub_dim] = codebooks[m][codes[:, m]]
+        return out
+
+    # -- ADC scoring -------------------------------------------------------
+
+    def adc_inner_product_table(self, query: np.ndarray) -> np.ndarray:
+        """Per-subspace inner-product lookup table of shape ``(m, k)``."""
+        codebooks = self._require_fitted()
+        query = np.asarray(query, dtype=np.float64).ravel()
+        self._check_dim(query.shape[0])
+        assert self._sub_dim is not None
+        table = np.zeros((self.n_subvectors, codebooks.shape[1]))
+        for m in range(self.n_subvectors):
+            sub = query[m * self._sub_dim : (m + 1) * self._sub_dim]
+            table[m] = codebooks[m] @ sub
+        return table
+
+    def adc_l2_table(self, query: np.ndarray) -> np.ndarray:
+        """Per-subspace squared-L2 lookup table of shape ``(m, k)``."""
+        codebooks = self._require_fitted()
+        query = np.asarray(query, dtype=np.float64).ravel()
+        self._check_dim(query.shape[0])
+        assert self._sub_dim is not None
+        table = np.zeros((self.n_subvectors, codebooks.shape[1]))
+        for m in range(self.n_subvectors):
+            sub = query[m * self._sub_dim : (m + 1) * self._sub_dim]
+            table[m] = np.sum((codebooks[m] - sub) ** 2, axis=1)
+        return table
+
+    @staticmethod
+    def adc_scores(table: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Sum table lookups over subspaces for every code row."""
+        codes = np.atleast_2d(np.asarray(codes))
+        m = codes.shape[1]
+        return table[np.arange(m)[np.newaxis, :], codes].sum(axis=1)
+
+    def compression_ratio(self, dim: int) -> float:
+        """Bytes saved: float64 vector bytes over code bytes."""
+        return (dim * 8) / self.n_subvectors
+
+
+class PQIndex(VectorIndex):
+    """Flat scan over PQ codes with ADC scoring.
+
+    This is the "PQ without a graph" configuration: memory shrinks by
+    ``compression_ratio`` and scoring costs one table build plus an
+    ``(n, m)`` gather per query.  The ANNS method combines this encoder
+    with HNSW (see :class:`repro.vectordb.index.HNSWPQIndex`).
+    """
+
+    def __init__(
+        self,
+        metric: Metric = Metric.COSINE,
+        n_subvectors: int = 8,
+        n_centroids: int = 256,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(metric)
+        self.quantizer = ProductQuantizer(n_subvectors, n_centroids, seed=seed)
+        self._codes = np.empty((0, n_subvectors), dtype=np.uint8)
+
+    @property
+    def size(self) -> int:
+        return self._codes.shape[0]
+
+    def build(self, vectors: np.ndarray) -> "PQIndex":
+        vectors = self._validate_build(vectors)
+        if self.metric is Metric.COSINE:
+            vectors = normalize_rows(vectors)
+        self.quantizer.fit(vectors)
+        self._codes = self.quantizer.encode(vectors)
+        return self
+
+    def search(self, query: np.ndarray, k: int) -> list[SearchHit]:
+        query = self._validate_query(query)
+        if self.metric is Metric.COSINE:
+            query = normalize_rows(query)
+        if self.metric is Metric.EUCLIDEAN:
+            table = self.quantizer.adc_l2_table(query)
+            scores = -np.sqrt(np.clip(self.quantizer.adc_scores(table, self._codes), 0, None))
+        else:
+            table = self.quantizer.adc_inner_product_table(query)
+            scores = self.quantizer.adc_scores(table, self._codes)
+        best = top_k_indices(scores, k)
+        return [SearchHit(int(i), float(scores[i])) for i in best]

@@ -1,0 +1,60 @@
+"""The five baselines from the paper's evaluation (Sec 5, Base Methods).
+
+* :class:`TableMeetsLLM` (TML) — simulated token-limited LLM matcher
+  with SUC-style table serialization.
+* :class:`TableContextualSearch` (TCS) — learning-to-rank over multiple
+  semantic spaces with a random-forest regressor.
+* :class:`AdHocTableRetrieval` (AdH) — BERT-style encoding of
+  selector-extracted content under a hard token limit.
+* :class:`MultiFieldDocumentRanking` (MDR) — mixture of Dirichlet-
+  smoothed field language models.
+* :class:`WebTableSystem` (WS) — hand-crafted features + linear
+  regression.
+
+Supporting substrates (CART/random forest, linear regression, language
+models, feature extraction) live in their own modules because sklearn
+is unavailable offline.
+"""
+
+from repro.baselines.adh import AdHocTableRetrieval
+from repro.baselines.base import BaselineMethod
+from repro.baselines.forest import DecisionTreeRegressor, RandomForestRegressor
+from repro.baselines.linear import LinearRegression
+from repro.baselines.langmodel import DirichletLanguageModel, FieldLanguageModels
+from repro.baselines.mdr import MultiFieldDocumentRanking
+from repro.baselines.tcs import TableContextualSearch
+from repro.baselines.tml import TableMeetsLLM
+from repro.baselines.ws import WebTableSystem
+
+__all__ = [
+    "AdHocTableRetrieval",
+    "BaselineMethod",
+    "DecisionTreeRegressor",
+    "DirichletLanguageModel",
+    "FieldLanguageModels",
+    "LinearRegression",
+    "MultiFieldDocumentRanking",
+    "RandomForestRegressor",
+    "TableContextualSearch",
+    "TableMeetsLLM",
+    "WebTableSystem",
+]
+
+#: Construction order used by experiment tables (paper's abbreviations).
+BASELINE_NAMES = ("tml", "tcs", "adh", "mdr", "ws")
+
+
+def make_baseline(name: str, **params) -> BaselineMethod:
+    """Factory mapping the paper's abbreviation to a baseline instance."""
+    classes = {
+        "tml": TableMeetsLLM,
+        "tcs": TableContextualSearch,
+        "adh": AdHocTableRetrieval,
+        "mdr": MultiFieldDocumentRanking,
+        "ws": WebTableSystem,
+    }
+    try:
+        cls = classes[name]
+    except KeyError:
+        raise ValueError(f"unknown baseline {name!r}; expected one of {BASELINE_NAMES}") from None
+    return cls(**params)

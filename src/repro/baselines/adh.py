@@ -1,0 +1,143 @@
+"""AdH — Ad-Hoc Table Retrieval with a deep contextualized LM (Chen et al., 2020).
+
+The original encodes table content, structure and metadata with BERT
+after running *content selectors* (row / column / salient-cell
+extractors) and ranks by the model's relevance head.  The defining
+limitation the paper leans on is BERT's input-length ceiling: content
+beyond the token budget is truncated, so large tables lose evidence.
+
+Here the shared sentence encoder plays BERT's role; the selectors and
+the hard token budget are implemented literally, so the truncation
+failure mode is mechanically identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineMethod
+from repro.core.results import RelationMatch
+from repro.datamodel.relation import Relation
+from repro.text.tokenize import Tokenizer
+from repro.text.vocab import Vocabulary
+
+__all__ = ["AdHocTableRetrieval"]
+
+
+class AdHocTableRetrieval(BaselineMethod):
+    """Selector-based table encoding under a hard token limit.
+
+    Parameters
+    ----------
+    max_tokens:
+        Token budget per encoded table input (BERT's 512, scaled to the
+        corpus's table sizes).
+    selectors:
+        Which content selectors to run; each produces one encoded view
+        and the final score is the best view's similarity.
+    """
+
+    name = "adh"
+
+    SELECTORS = ("rows", "columns", "salient")
+
+    def __init__(self, max_tokens: int = 16, selectors: tuple[str, ...] = SELECTORS):
+        super().__init__()
+        unknown = set(selectors) - set(self.SELECTORS)
+        if unknown:
+            raise ValueError(f"unknown selectors: {sorted(unknown)}")
+        if max_tokens < 4:
+            raise ValueError("max_tokens must be >= 4")
+        self.max_tokens = max_tokens
+        self.selectors = tuple(selectors)
+        self._tokenizer = Tokenizer()
+        self._view_vectors: np.ndarray | None = None  # (n_tables, n_views, dim)
+        self.truncation_ratio_: list[float] = []
+
+    # -- content selection ------------------------------------------------
+
+    def _select_rows(self, relation: Relation) -> str:
+        parts = [relation.caption, " ".join(relation.schema)]
+        for row in relation:
+            parts.append(" ".join(row.values))
+        return " ".join(parts)
+
+    def _select_columns(self, relation: Relation) -> str:
+        parts = [relation.caption]
+        for name in relation.schema:
+            parts.append(name)
+            parts.extend(relation.column(name))
+        return " ".join(parts)
+
+    def _select_salient(self, relation: Relation, vocab: Vocabulary) -> str:
+        """Cells ranked by max token IDF (rarest content first)."""
+        def salience(value: str) -> float:
+            tokens = self._tokenizer.tokenize(value)
+            return max((vocab.idf(t) for t in tokens), default=0.0)
+
+        cells = sorted(set(relation.values()), key=salience, reverse=True)
+        return " ".join([relation.caption] + cells)
+
+    def _truncate(self, text: str) -> tuple[str, float]:
+        """Apply the hard token budget; returns (kept text, kept ratio)."""
+        tokens = self._tokenizer.tokenize(text)
+        if not tokens:
+            return "", 1.0
+        kept = tokens[: self.max_tokens]
+        return " ".join(kept), len(kept) / len(tokens)
+
+    # -- indexing --------------------------------------------------------------
+
+    def _build(self) -> None:
+        vocab = Vocabulary()
+        for relation in self.relations:
+            vocab.add_document(self._tokenizer.tokenize(self.body_text(relation)))
+        encoder = self.embeddings.encoder
+        views: list[np.ndarray] = []
+        self._view_texts: list[str] = []
+        self.truncation_ratio_ = []
+        for relation in self.relations:
+            texts = []
+            ratios = []
+            for selector in self.selectors:
+                if selector == "rows":
+                    raw = self._select_rows(relation)
+                elif selector == "columns":
+                    raw = self._select_columns(relation)
+                else:
+                    raw = self._select_salient(relation, vocab)
+                text, ratio = self._truncate(raw)
+                texts.append(text)
+                ratios.append(ratio)
+            views.append(encoder.encode(texts))
+            # the "rows" view doubles as the cross-encoding content
+            self._view_texts.append(texts[0])
+            self.truncation_ratio_.append(float(np.mean(ratios)))
+        self._view_vectors = np.stack(views)  # (n, views, dim)
+
+    # -- scoring ---------------------------------------------------------------
+
+    def _score_all(self, query: str) -> list[RelationMatch]:
+        assert self._view_vectors is not None
+        # BERT-style rankers run a forward pass per (query, table)
+        # pair at query time — that per-pair inference is what makes
+        # them slow at corpus scale, and it cannot be cached across
+        # queries.  The shared encoder plays BERT: each table's "rows"
+        # view is re-encoded on every query (bypassing the engine's
+        # caching layer); the offline-encoded selector views contribute
+        # their max similarity as in the original's multi-selector
+        # ensemble.
+        encoder = self.embeddings.encoder
+        raw_encoder = getattr(encoder, "delegate", encoder)
+        fresh = raw_encoder.encode(self._view_texts)
+        q = self.embeddings.encode_query(query)
+        sims = self._view_vectors @ q  # (n, views)
+        scores = np.maximum(sims.max(axis=1), fresh @ q)
+        return [
+            RelationMatch(
+                relation_id=rid,
+                score=float(score),
+                details={"truncation_kept": self.truncation_ratio_[i]},
+            )
+            for i, (rid, score) in enumerate(zip(self.relation_ids, scores))
+        ]

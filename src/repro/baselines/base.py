@@ -1,0 +1,82 @@
+"""Common machinery for the baseline table-retrieval methods.
+
+Baselines rank whole tables from their *text fields* (captions,
+schemas, bodies, metadata), unlike the paper's methods which match at
+the value-vector level.  They therefore need the federation itself, not
+just its embeddings — :meth:`BaselineMethod.index_federation` provides
+both (some baselines also embed text with the shared encoder).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.base import SearchMethod
+from repro.core.semimg import FederationEmbeddings
+from repro.datamodel.relation import Federation, Relation
+from repro.errors import NotFittedError
+
+__all__ = ["BaselineMethod"]
+
+
+class BaselineMethod(SearchMethod):
+    """A baseline ranker over a federation's relations.
+
+    Lifecycle: ``index_federation(federation, embeddings)`` then
+    ``search(query, k, h)``.  Trainable baselines additionally expose
+    ``fit(train_queries, qrels)`` which must be called after indexing.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._federation: Federation | None = None
+        self._relation_ids: list[str] = []
+        self._relations: list[Relation] = []
+
+    @property
+    def federation(self) -> Federation:
+        if self._federation is None:
+            raise NotFittedError(f"{type(self).__name__} used before index_federation()")
+        return self._federation
+
+    def index_federation(
+        self, federation: Federation, embeddings: FederationEmbeddings
+    ) -> "BaselineMethod":
+        """Index both the raw federation and its shared embeddings."""
+        self._federation = federation
+        self._relation_ids = []
+        self._relations = []
+        for relation_id, relation in federation.relations():
+            self._relation_ids.append(relation_id)
+            self._relations.append(relation)
+        return self.index(embeddings)  # type: ignore[return-value]
+
+    @property
+    def relation_ids(self) -> list[str]:
+        return list(self._relation_ids)
+
+    @property
+    def relations(self) -> list[Relation]:
+        return list(self._relations)
+
+    def search(self, query: str, k: int = 10, h: float = float("-inf")):
+        """Answer a query; baselines default to no score threshold.
+
+        Baseline scores live on model-specific scales (log-likelihoods,
+        regression outputs), so the cosine threshold ``h`` of the
+        paper's methods does not transfer; the default disables it.
+        """
+        _ = self.federation  # raises NotFittedError before index_federation()
+        return super().search(query, k=k, h=h)
+
+    @staticmethod
+    def body_text(relation: Relation, max_cells: int | None = None) -> str:
+        """Concatenated cell text of a relation (optionally capped)."""
+        values = relation.values()
+        if max_cells is not None:
+            values = values[:max_cells]
+        return " ".join(values)
+
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Build baseline-specific structures over the indexed federation."""

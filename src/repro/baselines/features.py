@@ -1,0 +1,133 @@
+"""Hand-crafted query-table features for the WS and TCS baselines.
+
+WS (Cafarella et al., 2009) ranks web tables with engineered features
+and linear regression; TCS (Zhang & Balog, 2018) augments such features
+with semantic-space similarities.  The extractor precomputes per-table
+token statistics at index time so feature extraction at query time is
+a cheap per-table loop.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datamodel.relation import Relation
+from repro.text.tokenize import Tokenizer, is_numeric_token
+from repro.text.vocab import Vocabulary
+
+__all__ = ["LexicalFeatureExtractor", "FEATURE_NAMES"]
+
+FEATURE_NAMES = (
+    "caption_overlap",
+    "caption_coverage",
+    "schema_overlap",
+    "schema_coverage",
+    "body_overlap",
+    "body_coverage",
+    "idf_body_overlap",
+    "caption_exact_phrase",
+    "log_rows",
+    "log_cols",
+    "numeric_fraction",
+    "query_length",
+)
+
+
+@dataclass
+class _TableStats:
+    caption_tokens: set[str]
+    schema_tokens: set[str]
+    body_counts: Counter
+    body_tokens: set[str]
+    caption_text: str
+    log_rows: float
+    log_cols: float
+    numeric_fraction: float
+
+
+class LexicalFeatureExtractor:
+    """Precomputed lexical statistics + per-query feature matrices."""
+
+    def __init__(self) -> None:
+        self._tokenizer = Tokenizer()
+        self._stats: list[_TableStats] = []
+        self._vocab = Vocabulary()
+
+    # -- indexing -------------------------------------------------------
+
+    def index(self, relations: list[Relation]) -> "LexicalFeatureExtractor":
+        """Precompute token statistics for every relation."""
+        self._stats = []
+        self._vocab = Vocabulary()
+        for relation in relations:
+            caption_tokens = self._tokenizer.tokenize(relation.caption)
+            schema_tokens = [
+                t for name in relation.schema for t in self._tokenizer.tokenize(name)
+            ]
+            body_tokens: list[str] = []
+            numeric = 0
+            total = 0
+            for value in relation.values():
+                tokens = self._tokenizer.tokenize(value)
+                body_tokens.extend(tokens)
+                total += 1
+                if tokens and all(is_numeric_token(t) for t in tokens):
+                    numeric += 1
+            self._vocab.add_document(body_tokens + caption_tokens + schema_tokens)
+            self._stats.append(
+                _TableStats(
+                    caption_tokens=set(caption_tokens),
+                    schema_tokens=set(schema_tokens),
+                    body_counts=Counter(body_tokens),
+                    body_tokens=set(body_tokens),
+                    caption_text=" ".join(caption_tokens),
+                    log_rows=float(np.log1p(relation.num_rows)),
+                    log_cols=float(np.log1p(relation.num_columns)),
+                    numeric_fraction=numeric / total if total else 0.0,
+                )
+            )
+        return self
+
+    @property
+    def n_tables(self) -> int:
+        return len(self._stats)
+
+    @property
+    def n_features(self) -> int:
+        return len(FEATURE_NAMES)
+
+    # -- extraction -------------------------------------------------------
+
+    def features(self, query: str) -> np.ndarray:
+        """Feature matrix ``(n_tables, n_features)`` for one query."""
+        q_tokens = self._tokenizer.tokenize(query)
+        q_set = set(q_tokens)
+        q_len = max(len(q_set), 1)
+        q_phrase = " ".join(q_tokens)
+        idf = {t: self._vocab.idf(t) for t in q_set}
+        total_idf = sum(idf.values()) or 1.0
+
+        out = np.zeros((len(self._stats), len(FEATURE_NAMES)))
+        for i, stats in enumerate(self._stats):
+            cap = len(q_set & stats.caption_tokens)
+            sch = len(q_set & stats.schema_tokens)
+            body = len(q_set & stats.body_tokens)
+            idf_body = sum(idf[t] for t in q_set if t in stats.body_tokens)
+            out[i] = (
+                cap,
+                cap / q_len,
+                sch,
+                sch / q_len,
+                body,
+                body / q_len,
+                idf_body / total_idf,
+                1.0 if q_phrase and q_phrase in stats.caption_text else 0.0,
+                stats.log_rows,
+                stats.log_cols,
+                stats.numeric_fraction,
+                float(len(q_tokens)),
+            )
+        return out

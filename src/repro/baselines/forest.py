@@ -1,0 +1,220 @@
+"""CART regression trees and bagged random forests (sklearn substitute).
+
+TCS ranks query-table pairs with a random-forest regressor over
+similarity features (Zhang & Balog, 2018); this module provides that
+model family from scratch: variance-reduction CART trees with feature
+subsampling, bootstrap-aggregated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+
+__all__ = ["DecisionTreeRegressor", "RandomForestRegressor"]
+
+
+@dataclass
+class _Node:
+    """A tree node: either a leaf (value) or an internal split."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "._Node | None" = None  # type: ignore[name-defined]
+    right: "._Node | None" = None  # type: ignore[name-defined]
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor:
+    """CART regression tree with variance-reduction splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth limit.
+    min_samples_split:
+        Minimum samples required to attempt a split.
+    min_samples_leaf:
+        Minimum samples that must land on each side of a split.
+    max_features:
+        Features considered per split (None = all); random forests pass
+        a subsample here.
+    seed:
+        Seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth < 1:
+            raise ConfigurationError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ConfigurationError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = max(min_samples_split, 2 * min_samples_leaf)
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Node | None = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        if features.ndim != 2 or features.shape[0] != targets.shape[0]:
+            raise ConfigurationError("features must be (n, d) aligned with targets")
+        rng = np.random.default_rng(self.seed)
+        self._root = self._grow(features, targets, depth=0, rng=rng)
+        return self
+
+    def _grow(
+        self, x: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if (
+            depth >= self.max_depth
+            or y.shape[0] < self.min_samples_split
+            or float(y.var()) <= 1e-12
+        ):
+            return node
+        split = self._best_split(x, y, rng)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, float] | None:
+        n, d = x.shape
+        features = np.arange(d)
+        if self.max_features is not None and self.max_features < d:
+            features = rng.choice(d, size=self.max_features, replace=False)
+        best_gain, best = 0.0, None
+        parent_sse = float(np.sum((y - y.mean()) ** 2))
+        for feature in features:
+            order = np.argsort(x[:, feature], kind="stable")
+            xs, ys = x[order, feature], y[order]
+            # Cumulative sums give O(n) evaluation of all split points.
+            csum = np.cumsum(ys)
+            csum_sq = np.cumsum(ys**2)
+            total, total_sq = csum[-1], csum_sq[-1]
+            left_n = np.arange(1, n)
+            right_n = n - left_n
+            left_sse = csum_sq[:-1] - csum[:-1] ** 2 / left_n
+            right_sum = total - csum[:-1]
+            right_sse = (total_sq - csum_sq[:-1]) - right_sum**2 / right_n
+            gains = parent_sse - (left_sse + right_sse)
+            # Valid splits: enough samples each side, distinct x values.
+            valid = (
+                (left_n >= self.min_samples_leaf)
+                & (right_n >= self.min_samples_leaf)
+                & (np.diff(xs) > 1e-12)
+            )
+            if not np.any(valid):
+                continue
+            gains = np.where(valid, gains, -np.inf)
+            idx = int(np.argmax(gains))
+            if gains[idx] > best_gain:
+                best_gain = float(gains[idx])
+                best = (int(feature), float((xs[idx] + xs[idx + 1]) / 2.0))
+        return best
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise NotFittedError("DecisionTreeRegressor.predict called before fit")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        out = np.empty(features.shape[0])
+        for i, row in enumerate(features):
+            node = self._root
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if self._root is None:
+            raise NotFittedError("tree not fitted")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated CART trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_trees: int = 30,
+        max_depth: int = 8,
+        min_samples_leaf: int = 2,
+        max_features: int | str | None = "sqrt",
+        seed: int = 0,
+    ) -> None:
+        if n_trees < 1:
+            raise ConfigurationError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: list[DecisionTreeRegressor] = []
+
+    def _resolve_max_features(self, d: int) -> int | None:
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        if self.max_features is None:
+            return None
+        return int(self.max_features)
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RandomForestRegressor":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        n, d = features.shape
+        rng = np.random.default_rng(self.seed)
+        max_features = self._resolve_max_features(d)
+        self._trees = []
+        for t in range(self.n_trees):
+            sample = rng.integers(0, n, size=n)  # bootstrap
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=self.seed * 1000 + t,
+            )
+            tree.fit(features[sample], targets[sample])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise NotFittedError("RandomForestRegressor.predict called before fit")
+        predictions = np.stack([tree.predict(features) for tree in self._trees])
+        return predictions.mean(axis=0)
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._trees)

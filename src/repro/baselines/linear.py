@@ -1,0 +1,61 @@
+"""Ordinary / ridge least-squares regression (sklearn substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+
+__all__ = ["LinearRegression"]
+
+
+class LinearRegression:
+    """Least-squares linear model with intercept and optional L2 penalty.
+
+    Parameters
+    ----------
+    ridge:
+        L2 regularization strength (0 = ordinary least squares).  A
+        small ridge keeps weights finite when features are collinear,
+        which hand-crafted overlap features frequently are.
+    """
+
+    def __init__(self, ridge: float = 1e-6):
+        if ridge < 0:
+            raise ConfigurationError("ridge must be >= 0")
+        self.ridge = ridge
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearRegression":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        if features.ndim != 2:
+            raise ConfigurationError("features must be 2-D")
+        if features.shape[0] != targets.shape[0]:
+            raise ConfigurationError("features and targets row counts differ")
+        n, d = features.shape
+        augmented = np.hstack([features, np.ones((n, 1))])
+        gram = augmented.T @ augmented
+        if self.ridge > 0:
+            penalty = self.ridge * np.eye(d + 1)
+            penalty[-1, -1] = 0.0  # do not penalize the intercept
+            gram = gram + penalty
+        weights = np.linalg.solve(gram, augmented.T @ targets)
+        self.coef_ = weights[:-1]
+        self.intercept_ = float(weights[-1])
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.coef_ is None or self.intercept_ is None:
+            raise NotFittedError("LinearRegression.predict called before fit")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return features @ self.coef_ + self.intercept_
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Coefficient of determination R^2."""
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        predictions = self.predict(features)
+        ss_res = float(np.sum((targets - predictions) ** 2))
+        ss_tot = float(np.sum((targets - targets.mean()) ** 2))
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0

@@ -1,0 +1,92 @@
+"""WS — WebTable System (Cafarella, Halevy & Khoussainova, 2009).
+
+Hand-crafted query-table features combined with a linear regression
+model: the traditional feature-engineering benchmark.  Its weakness —
+the paper's reason for including it — is that pure lexical features
+cannot bridge surface-form divergence (a query "COVID" never overlaps
+a cell "Comirnaty").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineMethod
+from repro.baselines.features import FEATURE_NAMES, LexicalFeatureExtractor
+from repro.baselines.linear import LinearRegression
+from repro.core.results import RelationMatch
+
+__all__ = ["WebTableSystem"]
+
+# Sensible untrained weights: coverage features dominate, size features
+# contribute mildly.  Used until fit() is called.
+_DEFAULT_WEIGHTS = {
+    "caption_overlap": 0.10,
+    "caption_coverage": 0.30,
+    "schema_overlap": 0.05,
+    "schema_coverage": 0.15,
+    "body_overlap": 0.05,
+    "body_coverage": 0.20,
+    "idf_body_overlap": 0.25,
+    "caption_exact_phrase": 0.30,
+    "log_rows": 0.01,
+    "log_cols": 0.01,
+    "numeric_fraction": 0.0,
+    "query_length": 0.0,
+}
+
+
+class WebTableSystem(BaselineMethod):
+    """Linear regression over hand-crafted lexical features."""
+
+    name = "ws"
+
+    def __init__(self, ridge: float = 1e-4):
+        super().__init__()
+        self.ridge = ridge
+        self._extractor = LexicalFeatureExtractor()
+        self._model: LinearRegression | None = None
+
+    def _build(self) -> None:
+        self._extractor.index(self.relations)
+
+    # -- training ---------------------------------------------------------
+
+    def fit(self, pairs: list[tuple[str, str, int]]) -> "WebTableSystem":
+        """Train on (query, relation_id, grade) judgments."""
+        row_of = {rid: i for i, rid in enumerate(self.relation_ids)}
+        features: list[np.ndarray] = []
+        targets: list[float] = []
+        by_query: dict[str, np.ndarray] = {}
+        for query, relation_id, grade in pairs:
+            if relation_id not in row_of:
+                continue
+            if query not in by_query:
+                by_query[query] = self._extractor.features(query)
+            features.append(by_query[query][row_of[relation_id]])
+            targets.append(float(grade))
+        if features:
+            self._model = LinearRegression(ridge=self.ridge).fit(
+                np.vstack(features), np.asarray(targets)
+            )
+        return self
+
+    @property
+    def is_trained(self) -> bool:
+        return self._model is not None
+
+    # -- scoring ------------------------------------------------------------
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        if self._model is not None:
+            return self._model.predict(features)
+        weights = np.array([_DEFAULT_WEIGHTS[name] for name in FEATURE_NAMES])
+        return features @ weights
+
+    def _score_all(self, query: str) -> list[RelationMatch]:
+        features = self._extractor.features(query)
+        scores = self._predict(features)
+        return [
+            RelationMatch(relation_id=rid, score=float(score))
+            for rid, score in zip(self.relation_ids, scores)
+        ]

@@ -1,0 +1,22 @@
+"""Clustering substrate: from-scratch HDBSCAN and medoid utilities.
+
+The CTS method (paper Sec 4.3) clusters UMAP-reduced value embeddings
+with HDBSCAN and represents each cluster by its medoid ("while HDBSCAN
+does not automatically provide cluster centers, we address this
+limitation by manually computing the clusters medoids").
+"""
+
+from repro.clustering.hdbscan_ import HDBSCAN
+from repro.clustering.hierarchy import CondensedTree, SingleLinkageTree, condense_tree
+from repro.clustering.medoids import cluster_medoids, medoid_index
+from repro.clustering.mst import mutual_reachability_mst
+
+__all__ = [
+    "HDBSCAN",
+    "CondensedTree",
+    "SingleLinkageTree",
+    "cluster_medoids",
+    "condense_tree",
+    "medoid_index",
+    "mutual_reachability_mst",
+]

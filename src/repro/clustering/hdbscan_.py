@@ -1,0 +1,231 @@
+"""HDBSCAN: hierarchical density-based clustering (Campello et al., 2013).
+
+Pipeline (matching the reference ``hdbscan`` package the paper cites):
+
+1. core distances at ``min_samples``;
+2. MST of the mutual-reachability graph;
+3. single-linkage dendrogram;
+4. condensed tree at ``min_cluster_size``;
+5. cluster selection by Excess-of-Mass (default) or leaf method;
+6. labels (noise = -1), membership probabilities and per-cluster
+   stabilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.hierarchy import (
+    CondensedTree,
+    SingleLinkageTree,
+    compute_stability,
+    condense_tree,
+)
+from repro.clustering.medoids import cluster_medoids
+from repro.clustering.mst import mutual_reachability_mst
+from repro.errors import ConfigurationError, NotFittedError
+
+__all__ = ["HDBSCAN"]
+
+
+class HDBSCAN:
+    """Density-based clustering with noise.
+
+    Parameters
+    ----------
+    min_cluster_size:
+        Smallest group treated as a cluster.
+    min_samples:
+        Neighbourhood size for core distances; defaults to
+        ``min_cluster_size`` as in the reference implementation.
+    cluster_selection_method:
+        ``"eom"`` (Excess of Mass, default) or ``"leaf"``.
+
+    Attributes
+    ----------
+    labels_:
+        Cluster labels per point; ``-1`` is noise.
+    probabilities_:
+        Strength of each point's membership in its cluster, in [0, 1].
+    cluster_stabilities_:
+        Stability score per selected cluster label.
+    condensed_tree_:
+        The condensed tree, for inspection.
+    """
+
+    def __init__(
+        self,
+        min_cluster_size: int = 5,
+        min_samples: int | None = None,
+        cluster_selection_method: str = "eom",
+    ) -> None:
+        if min_cluster_size < 2:
+            raise ConfigurationError("min_cluster_size must be >= 2")
+        if cluster_selection_method not in ("eom", "leaf"):
+            raise ConfigurationError("cluster_selection_method must be 'eom' or 'leaf'")
+        self.min_cluster_size = min_cluster_size
+        self.min_samples = min_samples if min_samples is not None else min_cluster_size
+        self.cluster_selection_method = cluster_selection_method
+        self.labels_: np.ndarray | None = None
+        self.probabilities_: np.ndarray | None = None
+        self.cluster_stabilities_: dict[int, float] | None = None
+        self.condensed_tree_: CondensedTree | None = None
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(self, points: np.ndarray) -> "HDBSCAN":
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ConfigurationError("HDBSCAN expects a 2-D (n, dim) array")
+        n = points.shape[0]
+        if n < self.min_cluster_size:
+            # Degenerate corpus: everything is noise.
+            self.labels_ = np.full(n, -1, dtype=np.intp)
+            self.probabilities_ = np.zeros(n)
+            self.cluster_stabilities_ = {}
+            self.condensed_tree_ = None
+            return self
+
+        edges, weights = mutual_reachability_mst(points, self.min_samples)
+        slt = SingleLinkageTree.from_mst(edges, weights)
+        tree = condense_tree(slt, self.min_cluster_size)
+        stability = compute_stability(tree)
+
+        if self.cluster_selection_method == "leaf":
+            selected = set(tree.leaves())
+        else:
+            selected = self._select_eom(tree, stability)
+
+        self.condensed_tree_ = tree
+        self.labels_, self.probabilities_ = self._label(tree, selected)
+        self.cluster_stabilities_ = {}
+        relabel = self._relabel_map(tree, selected)
+        for cluster in selected:
+            self.cluster_stabilities_[relabel[cluster]] = stability[cluster]
+        return self
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        self.fit(points)
+        assert self.labels_ is not None
+        return self.labels_
+
+    # -- selection ---------------------------------------------------------
+
+    @staticmethod
+    def _select_eom(tree: CondensedTree, stability: dict[int, float]) -> set[int]:
+        """Excess-of-Mass: keep a cluster iff it is more stable than the
+        sum of its descendants' selected stabilities."""
+        children_map: dict[int, list[int]] = {c: [] for c in stability}
+        for p, c in zip(tree.parent, tree.child):
+            if c >= tree.n_points:
+                children_map[int(p)].append(int(c))
+
+        root = int(tree.parent.min())
+        selected: set[int] = set()
+        subtree_stability: dict[int, float] = {}
+
+        # Process bottom-up: order clusters by decreasing id is not
+        # guaranteed topological, so do an explicit post-order walk.
+        post_order: list[int] = []
+        stack = [root]
+        seen: set[int] = set()
+        while stack:
+            node = stack[-1]
+            unvisited = [c for c in children_map.get(node, ()) if c not in seen]
+            if unvisited:
+                stack.extend(unvisited)
+            else:
+                post_order.append(node)
+                seen.add(node)
+                stack.pop()
+
+        for node in post_order:
+            kids = children_map.get(node, [])
+            child_total = sum(subtree_stability[c] for c in kids)
+            own = stability.get(node, 0.0)
+            if node == root:
+                # The root is "all data" and is never selectable
+                # (allow_single_cluster=False in reference terms).
+                subtree_stability[node] = child_total
+            elif not kids or own >= child_total:
+                subtree_stability[node] = own
+                # Selecting this node supersedes any selected descendants.
+                for descendant in HDBSCAN._descendants(children_map, node):
+                    selected.discard(descendant)
+                selected.add(node)
+            else:
+                subtree_stability[node] = child_total
+        # The root is never selected (it is "all data"); if nothing was
+        # selected (e.g. single uniform blob) fall back to leaves.
+        if not selected:
+            selected = set(tree.leaves())
+            selected.discard(root)
+        return selected
+
+    @staticmethod
+    def _descendants(children_map: dict[int, list[int]], node: int) -> list[int]:
+        out: list[int] = []
+        stack = [node]
+        while stack:
+            x = stack.pop()
+            out.append(x)
+            stack.extend(children_map.get(x, ()))
+        return out
+
+    # -- labelling -----------------------------------------------------------
+
+    @staticmethod
+    def _relabel_map(tree: CondensedTree, selected: set[int]) -> dict[int, int]:
+        return {cluster: i for i, cluster in enumerate(sorted(selected))}
+
+    def _label(
+        self, tree: CondensedTree, selected: set[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = tree.n_points
+        labels = np.full(n, -1, dtype=np.intp)
+        probabilities = np.zeros(n)
+        relabel = self._relabel_map(tree, selected)
+
+        finite = tree.lambda_val[np.isfinite(tree.lambda_val)]
+        clamp = float(finite.max()) if finite.size else 1.0
+
+        for cluster in selected:
+            label = relabel[cluster]
+            members = tree.points_of(cluster)
+            labels[members] = label
+            # Membership strength: the point's exit lambda relative to
+            # the cluster's maximum exit lambda.
+            lambdas = np.zeros(members.shape[0])
+            member_pos = {int(m): i for i, m in enumerate(members)}
+            stack = [cluster]
+            while stack:
+                node = stack.pop()
+                mask = tree.parent == node
+                for c, lam in zip(tree.child[mask], tree.lambda_val[mask]):
+                    if c < n:
+                        lambdas[member_pos[int(c)]] = min(float(lam), clamp)
+                    else:
+                        stack.append(int(c))
+            max_lambda = lambdas.max() if lambdas.size else 0.0
+            if max_lambda > 0:
+                probabilities[members] = lambdas / max_lambda
+            else:
+                probabilities[members] = 1.0
+        return labels, probabilities
+
+    # -- conveniences -----------------------------------------------------------
+
+    @property
+    def n_clusters_(self) -> int:
+        """Number of clusters found (noise excluded)."""
+        if self.labels_ is None:
+            raise NotFittedError("HDBSCAN not fitted")
+        unique = set(self.labels_.tolist())
+        unique.discard(-1)
+        return len(unique)
+
+    def medoids(self, points: np.ndarray) -> dict[int, int]:
+        """Medoid row index per cluster (on the given points)."""
+        if self.labels_ is None:
+            raise NotFittedError("HDBSCAN not fitted")
+        return cluster_medoids(points, self.labels_)

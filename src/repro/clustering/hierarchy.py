@@ -1,0 +1,225 @@
+"""Single-linkage dendrogram and the HDBSCAN condensed tree.
+
+From sorted MST edges a union-find pass builds the single-linkage
+dendrogram (same row format as ``scipy.cluster.hierarchy.linkage``).
+The dendrogram is then *condensed*: walking from the root down, a split
+whose side is smaller than ``min_cluster_size`` is not a new cluster —
+its points simply "fall out" of the parent at that density.  The
+condensed tree plus per-cluster stabilities drive cluster selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SingleLinkageTree", "CondensedTree", "condense_tree", "compute_stability"]
+
+
+@dataclass(frozen=True)
+class SingleLinkageTree:
+    """Dendrogram rows: (left, right, distance, size), scipy-compatible.
+
+    Leaves are ``0..n-1``; internal node ``i`` (0-based row index) has
+    id ``n + i``.
+    """
+
+    merges: np.ndarray  # (n-1, 4) float64
+    n_points: int
+
+    @classmethod
+    def from_mst(cls, edges: np.ndarray, weights: np.ndarray) -> "SingleLinkageTree":
+        """Union-find construction from MST edges (any order)."""
+        n = edges.shape[0] + 1
+        order = np.argsort(weights, kind="stable")
+        parent = np.arange(2 * n - 1, dtype=np.intp)
+        size = np.ones(2 * n - 1, dtype=np.intp)
+        merges = np.empty((n - 1, 4), dtype=np.float64)
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:  # path compression
+                parent[x], x = root, parent[x]
+            return root
+
+        next_node = n
+        for row, e in enumerate(order):
+            u, v = edges[e]
+            w = weights[e]
+            ru, rv = find(int(u)), find(int(v))
+            if ru == rv:
+                raise ConfigurationError("MST edges contain a cycle")
+            merges[row] = (ru, rv, w, size[ru] + size[rv])
+            parent[ru] = parent[rv] = next_node
+            size[next_node] = size[ru] + size[rv]
+            next_node += 1
+        return cls(merges=merges, n_points=n)
+
+
+@dataclass
+class CondensedTree:
+    """Flat condensed-tree records.
+
+    Each record links ``parent`` (a condensed cluster id, root = n) to
+    ``child`` (a point id < n, or another condensed cluster id), at
+    density ``lambda_val`` (= 1 / merge distance) with ``child_size``
+    points.
+    """
+
+    parent: np.ndarray
+    child: np.ndarray
+    lambda_val: np.ndarray
+    child_size: np.ndarray
+    n_points: int
+
+    def cluster_ids(self) -> np.ndarray:
+        """Condensed cluster ids (>= n_points), sorted."""
+        return np.unique(self.parent)
+
+    def leaves(self) -> list[int]:
+        """Clusters with no child clusters (every cluster occurs as a parent)."""
+        all_clusters = set(self.parent.tolist())
+        non_leaf = {
+            int(p) for p, c in zip(self.parent, self.child) if c >= self.n_points
+        }
+        return sorted(int(c) for c in all_clusters if c not in non_leaf)
+
+    def points_of(self, cluster: int) -> np.ndarray:
+        """All point ids that ever belonged to ``cluster`` or its descendants."""
+        result: list[int] = []
+        stack = [cluster]
+        while stack:
+            node = stack.pop()
+            mask = self.parent == node
+            for c in self.child[mask]:
+                if c < self.n_points:
+                    result.append(int(c))
+                else:
+                    stack.append(int(c))
+        return np.array(sorted(result), dtype=np.intp)
+
+
+def condense_tree(slt: SingleLinkageTree, min_cluster_size: int = 5) -> CondensedTree:
+    """Condense a single-linkage dendrogram.
+
+    Implements the standard HDBSCAN condensation (Campello et al.):
+    breadth-first from the root, relabelling "true" clusters (both
+    split sides >= ``min_cluster_size``) and spilling undersized sides'
+    points into their parent at the split's lambda.
+    """
+    if min_cluster_size < 2:
+        raise ConfigurationError("min_cluster_size must be >= 2")
+    n = slt.n_points
+    root = 2 * n - 2
+    merges = slt.merges
+
+    def children_of(node: int) -> tuple[int, int, float]:
+        row = merges[node - n]
+        return int(row[0]), int(row[1]), float(row[2])
+
+    def node_size(node: int) -> int:
+        return 1 if node < n else int(merges[node - n][3])
+
+    def collect_points(node: int) -> list[int]:
+        points: list[int] = []
+        stack = [node]
+        while stack:
+            x = stack.pop()
+            if x < n:
+                points.append(x)
+            else:
+                left, right, _ = children_of(x)
+                stack.extend((left, right))
+        return points
+
+    parents: list[int] = []
+    children: list[int] = []
+    lambdas: list[float] = []
+    sizes: list[int] = []
+
+    relabel = {root: n}
+    next_label = n + 1
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        label = relabel[node]
+        left, right, dist = children_of(node)
+        lam = 1.0 / dist if dist > 0.0 else np.inf
+        left_size, right_size = node_size(left), node_size(right)
+
+        left_big = left_size >= min_cluster_size
+        right_big = right_size >= min_cluster_size
+
+        if left_big and right_big:
+            # True split: both sides become new condensed clusters.
+            for side, size in ((left, left_size), (right, right_size)):
+                relabel[side] = next_label
+                parents.append(label)
+                children.append(next_label)
+                lambdas.append(lam)
+                sizes.append(size)
+                next_label += 1
+                if side >= n:
+                    stack.append(side)
+                else:
+                    # A single point can't be a cluster of size >= 2;
+                    # unreachable because min_cluster_size >= 2.
+                    raise AssertionError("point promoted to cluster")
+        else:
+            # Spilled sides: their points fall out of `label` at `lam`.
+            for side, big in ((left, left_big), (right, right_big)):
+                if big:
+                    # Same cluster continues down this side.
+                    relabel[side] = label
+                    if side >= n:
+                        stack.append(side)
+                    else:
+                        parents.append(label)
+                        children.append(side)
+                        lambdas.append(lam)
+                        sizes.append(1)
+                else:
+                    for point in collect_points(side):
+                        parents.append(label)
+                        children.append(point)
+                        lambdas.append(lam)
+                        sizes.append(1)
+
+    return CondensedTree(
+        parent=np.array(parents, dtype=np.intp),
+        child=np.array(children, dtype=np.intp),
+        lambda_val=np.array(lambdas, dtype=np.float64),
+        child_size=np.array(sizes, dtype=np.intp),
+        n_points=n,
+    )
+
+
+def compute_stability(tree: CondensedTree) -> dict[int, float]:
+    """Stability of each condensed cluster.
+
+    ``S(C) = sum over members p of (lambda_p - lambda_birth(C))``,
+    where ``lambda_p`` is the density at which ``p`` leaves ``C`` (or
+    ``C`` splits) and ``lambda_birth`` the density at which ``C``
+    appeared.  Infinite lambdas (zero-distance merges) are clamped to
+    the largest finite lambda so duplicates don't produce NaNs.
+    """
+    finite = tree.lambda_val[np.isfinite(tree.lambda_val)]
+    clamp = float(finite.max()) if finite.size else 1.0
+    lambdas = np.minimum(tree.lambda_val, clamp)
+
+    births: dict[int, float] = {}
+    for p, c, lam in zip(tree.parent, tree.child, lambdas):
+        if c >= tree.n_points:
+            births[int(c)] = float(lam)
+    root = int(tree.parent.min())
+    births[root] = 0.0
+
+    stability: dict[int, float] = {int(c): 0.0 for c in tree.cluster_ids()}
+    for p, lam, size in zip(tree.parent, lambdas, tree.child_size):
+        stability[int(p)] += (float(lam) - births[int(p)]) * int(size)
+    return stability

@@ -1,0 +1,67 @@
+"""Medoid computation for clusters.
+
+HDBSCAN yields no cluster centres; the paper computes each cluster's
+medoid — the member point minimizing total distance to the other
+members — and uses it as the cluster's representative in the vector
+database (Sec 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.linalg.distances import euclidean_distance
+
+__all__ = ["medoid_index", "cluster_medoids"]
+
+
+def medoid_index(points: np.ndarray) -> int:
+    """Index of the medoid of ``points`` (row minimizing summed distance).
+
+    Computed blockwise so large clusters don't materialize a full
+    n-squared matrix at once.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ConfigurationError("medoid_index expects a non-empty 2-D array")
+    n = points.shape[0]
+    totals = np.zeros(n)
+    block = max(1, min(n, 2_000_000 // max(n, 1)))
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        totals[start:stop] = euclidean_distance(points[start:stop], points).sum(axis=1)
+    return int(np.argmin(totals))
+
+
+def cluster_medoids(
+    points: np.ndarray, labels: np.ndarray, include_noise: bool = False
+) -> dict[int, int]:
+    """Per-cluster medoid row ids.
+
+    Parameters
+    ----------
+    points:
+        ``(n, dim)`` data the labels refer to.
+    labels:
+        Cluster labels; ``-1`` marks noise.
+    include_noise:
+        Also compute a medoid for the noise "cluster" (useful when CTS
+        must still be able to route queries near outliers).
+
+    Returns
+    -------
+    Mapping of cluster label to the *global* row index of its medoid.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    if labels.shape[0] != points.shape[0]:
+        raise ConfigurationError("labels and points must align")
+    medoids: dict[int, int] = {}
+    for label in np.unique(labels):
+        if label == -1 and not include_noise:
+            continue
+        member_ids = np.flatnonzero(labels == label)
+        local = medoid_index(points[member_ids])
+        medoids[int(label)] = int(member_ids[local])
+    return medoids

@@ -1,0 +1,85 @@
+"""Minimum spanning tree over the mutual-reachability graph.
+
+HDBSCAN's first step: define the mutual reachability distance
+
+    mr(a, b) = max(core_k(a), core_k(b), d(a, b))
+
+where ``core_k(x)`` is the distance from ``x`` to its k-th nearest
+neighbour, then build the MST of the complete graph under ``mr``.
+Prim's algorithm with on-the-fly distance rows keeps memory at O(n)
+instead of materializing the O(n^2) distance matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dimred.knn_graph import build_knn_graph
+from repro.errors import ConfigurationError
+
+__all__ = ["core_distances", "mutual_reachability_mst"]
+
+
+def core_distances(points: np.ndarray, min_samples: int) -> np.ndarray:
+    """Distance from each point to its ``min_samples``-th neighbour."""
+    if min_samples < 1:
+        raise ConfigurationError("min_samples must be >= 1")
+    knn = build_knn_graph(points, min(min_samples, points.shape[0] - 1))
+    return knn.distances[:, -1].copy()
+
+
+def mutual_reachability_mst(
+    points: np.ndarray, min_samples: int = 5
+) -> tuple[np.ndarray, np.ndarray]:
+    """MST edges of the mutual-reachability graph.
+
+    Returns
+    -------
+    edges:
+        ``(n - 1, 2)`` integer array of (u, v) pairs.
+    weights:
+        ``(n - 1,)`` mutual-reachability weights of those edges.
+
+    Notes
+    -----
+    Prim's algorithm: grow the tree one vertex at a time, keeping for
+    every outside vertex the cheapest edge into the tree.  Each step
+    computes a single distance row (new tree vertex to all vertices),
+    so time is O(n^2 · dim / vector-width) and memory O(n).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ConfigurationError("points must be 2-D")
+    n = points.shape[0]
+    if n < 2:
+        raise ConfigurationError("need at least 2 points for an MST")
+
+    core = core_distances(points, min_samples)
+
+    in_tree = np.zeros(n, dtype=bool)
+    best_dist = np.full(n, np.inf)
+    best_from = np.zeros(n, dtype=np.intp)
+
+    edges = np.empty((n - 1, 2), dtype=np.intp)
+    weights = np.empty(n - 1, dtype=np.float64)
+
+    current = 0
+    in_tree[0] = True
+    for step in range(n - 1):
+        # Mutual reachability from the newly added vertex to all others.
+        row = np.linalg.norm(points - points[current], axis=1)
+        np.maximum(row, core, out=row)
+        np.maximum(row, core[current], out=row)
+        improved = row < best_dist
+        improved &= ~in_tree
+        best_dist[improved] = row[improved]
+        best_from[improved] = current
+
+        masked = np.where(in_tree, np.inf, best_dist)
+        nxt = int(np.argmin(masked))
+        edges[step] = (best_from[nxt], nxt)
+        weights[step] = best_dist[nxt]
+        in_tree[nxt] = True
+        current = nxt
+
+    return edges, weights

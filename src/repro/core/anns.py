@@ -1,0 +1,175 @@
+"""Approximate Nearest Neighbours Search (ANNS) — Algorithm 2.
+
+Step 1 (offline): every attribute-value vector is stored in a vector
+database collection together with its metadata (relation id, attribute
+name), compressed with Product Quantization and indexed with HNSW.
+
+Step 2 (query): the query vector retrieves its approximate nearest
+value vectors; each relation's score is the average similarity of *its*
+retrieved vectors.  Relations whose values never come near the query
+are simply never touched — this focus is why ANNS beats ExS in quality
+on focused queries (paper Sec 5.3) as well as in speed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.base import SearchMethod
+from repro.core.results import RelationMatch
+from repro.linalg.distances import Metric
+from repro.vectordb.collection import Point
+from repro.vectordb.database import VectorDatabase
+from repro.vectordb.index import IndexKind
+
+__all__ = ["ANNSearch"]
+
+
+class ANNSearch(SearchMethod):
+    """PQ + HNSW search over the value-vector database.
+
+    Parameters
+    ----------
+    n_candidates:
+        How many nearest value vectors to retrieve per query before
+        grouping by relation.  ``None`` (default) scales with the
+        corpus: ``max(256, 3 x n_relations)`` — a fixed budget starves
+        recall on large federations because near-tie candidate sets
+        (e.g. every table of a region sharing entity values) crowd out
+        the deeper evidence.
+    index_kind:
+        Vector-database index; the paper's configuration is
+        ``"hnsw+pq"``.  ``"hnsw"`` (uncompressed) and ``"exact"`` are
+        ablation options.
+    n_subvectors / n_centroids:
+        Product-quantization shape (ignored without PQ).
+    m / ef_construction / ef_search:
+        HNSW graph parameters (ignored for ``"exact"``).
+    evidence_size:
+        The relation score is the average similarity of its
+        ``evidence_size`` best retrieved vectors, counting missing
+        slots as zero.  A plain average over however many vectors
+        happened to be retrieved lets one lucky near-duplicate cell
+        outrank a relation many of whose cells match the query; the
+        fixed-size average keeps the paper's "average of the
+        similarity scores of the vectors of the relation identified by
+        ANN" while rewarding evidence breadth.
+    """
+
+    name = "anns"
+
+    def __init__(
+        self,
+        n_candidates: int | None = None,
+        index_kind: IndexKind | str = IndexKind.HNSW_PQ,
+        n_subvectors: int = 8,
+        n_centroids: int = 256,
+        m: int = 16,
+        ef_construction: int = 100,
+        ef_search: int = 64,
+        evidence_size: int = 8,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_candidates is not None and n_candidates < 1:
+            raise ValueError("n_candidates must be >= 1 (or None for auto)")
+        self.n_candidates = n_candidates
+        self.index_kind = IndexKind(index_kind)
+        self.n_subvectors = n_subvectors
+        self.n_centroids = n_centroids
+        self.m = m
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        if evidence_size < 1:
+            raise ValueError("evidence_size must be >= 1")
+        self.evidence_size = evidence_size
+        self.seed = seed
+        self._db: VectorDatabase | None = None
+
+    @property
+    def database(self) -> VectorDatabase:
+        """The populated vector database (after index())."""
+        if self._db is None:
+            raise RuntimeError("ANNSearch not indexed yet")
+        return self._db
+
+    def _index_params(self) -> dict:
+        if self.index_kind is IndexKind.EXACT:
+            return {}
+        params: dict = {}
+        if self.index_kind in (IndexKind.HNSW, IndexKind.HNSW_PQ):
+            params.update(
+                m=self.m,
+                ef_construction=self.ef_construction,
+                ef_search=self.ef_search,
+                seed=self.seed,
+            )
+        if self.index_kind in (IndexKind.PQ, IndexKind.HNSW_PQ):
+            params.update(n_subvectors=self.n_subvectors, n_centroids=self.n_centroids)
+        if self.index_kind is IndexKind.PQ:
+            params.update(seed=self.seed)
+        return params
+
+    def _build(self) -> None:
+        """Step 1: populate the vector database and build the index.
+
+        One point is stored per globally DISTINCT value; its payload
+        lists every (relation, attribute, count) occurrence.  Common
+        values ("2021", country names) repeat across relations with
+        byte-identical vectors, and duplicate points break proximity
+        graphs: their PQ reconstructions coincide, the HNSW neighbour
+        heuristic links duplicates only to each other, and the graph
+        fragments into unreachable clumps.  Deduplication also stops
+        duplicates from crowding the candidate budget — one retrieved
+        value is evidence for every relation that contains it.
+        """
+        db = VectorDatabase()
+        collection = db.create_collection("values", dim=self.embeddings.dim, metric=Metric.COSINE)
+        owners: dict[str, list[list]] = {}
+        vectors: dict[str, object] = {}
+        for rel in self.embeddings.relations:
+            for row in range(rel.n_unique):
+                value = rel.values[row]
+                if value not in owners:
+                    owners[value] = []
+                    vectors[value] = rel.vectors[row]
+                owners[value].append(
+                    [rel.relation_id, rel.attr_names[row], int(rel.counts[row])]
+                )
+        points = [
+            Point(id=i, vector=vectors[value], payload={"value": value, "owners": owner_list})
+            for i, (value, owner_list) in enumerate(owners.items())
+        ]
+        collection.upsert(points)
+        collection.create_index(self.index_kind, **self._index_params())
+        self._db = db
+
+    def _score_all(self, query: str) -> list[RelationMatch]:
+        """Step 2: approximate KNN, then group scores by relation."""
+        q = self.embeddings.encode_query(query)
+        collection = self.database.get_collection("values")
+        budget = self.n_candidates
+        if budget is None:
+            budget = max(256, self.embeddings.n_relations // 2)
+        hits = collection.search(q, k=budget, ef=int(1.5 * budget), rescore=True)
+        per_relation: dict[str, list[float]] = defaultdict(list)
+        per_relation_attrs: dict[str, set[str]] = defaultdict(set)
+        for hit in hits:
+            for relation_id, attribute, count in hit.payload["owners"]:
+                # A value occurring `count` times in the relation is
+                # `count` matched attributes (Algorithm 2 averages over
+                # attribute occurrences, as ExS does).
+                per_relation[relation_id].extend([hit.score] * count)
+                per_relation_attrs[relation_id].add(attribute)
+        m = self.evidence_size
+        return [
+            RelationMatch(
+                relation_id=relation_id,
+                score=sum(sorted(scores, reverse=True)[:m]) / m,
+                details={
+                    "n_hits": len(scores),
+                    "attributes": sorted(per_relation_attrs[relation_id]),
+                },
+            )
+            for relation_id, scores in per_relation.items()
+        ]

@@ -1,0 +1,74 @@
+"""Shared interface of the three search methods."""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from repro.core.results import RelationMatch, SearchResult
+from repro.core.semimg import FederationEmbeddings
+from repro.errors import NotFittedError
+
+__all__ = ["SearchMethod"]
+
+
+class SearchMethod(abc.ABC):
+    """A dataset-discovery algorithm over federation embeddings.
+
+    Lifecycle: construct with hyper-parameters, :meth:`index` once over
+    the federation's semantic representation, then :meth:`search` any
+    number of queries.  ``search`` handles timing, thresholding and
+    top-k truncation uniformly; subclasses implement :meth:`_score_all`
+    returning per-relation scores.
+    """
+
+    #: Short name used in results and experiment tables.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._embeddings: FederationEmbeddings | None = None
+
+    @property
+    def embeddings(self) -> FederationEmbeddings:
+        if self._embeddings is None:
+            raise NotFittedError(f"{type(self).__name__} used before index()")
+        return self._embeddings
+
+    @property
+    def is_indexed(self) -> bool:
+        return self._embeddings is not None
+
+    def index(self, embeddings: FederationEmbeddings) -> "SearchMethod":
+        """Build this method's data structures over the federation."""
+        self._embeddings = embeddings
+        self._build()
+        return self
+
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Method-specific index construction (may be a no-op)."""
+
+    @abc.abstractmethod
+    def _score_all(self, query: str) -> list[RelationMatch]:
+        """Score candidate relations for a query (any order, unfiltered)."""
+
+    def search(self, query: str, k: int = 10, h: float = 0.0) -> SearchResult:
+        """Answer a keyword query.
+
+        Parameters
+        ----------
+        query:
+            Keyword query text.
+        k:
+            Maximum number of relations returned.
+        h:
+            Relatedness threshold: relations scoring below ``h`` are
+            filtered out (paper Sec 3: related iff ``match(F, q) >= h``).
+        """
+        start = time.perf_counter()
+        matches = self._score_all(query)
+        matches = [m for m in matches if m.score >= h]
+        matches.sort(key=lambda m: (-m.score, m.relation_id))
+        matches = matches[:k]
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return SearchResult(query=query, method=self.name, matches=matches, elapsed_ms=elapsed_ms)

@@ -1,0 +1,420 @@
+"""Clustered Targeted Search (CTS) — Algorithm 3, the paper's main method.
+
+Offline pipeline (Sec 4.3):
+
+1. vectorize every attribute value (shared with ExS/ANNS);
+2. reduce the vectors with UMAP (optionally PCA-preprocessed, and with
+   the kNN graph precomputed, as the paper does);
+3. cluster the reduced vectors with HDBSCAN;
+4. compute each cluster's medoid ("HDBSCAN does not automatically
+   provide cluster centers ... we manually compute the clusters
+   medoids") and store every cluster in its own vector-database
+   collection, with the medoid as its retrieval key.
+
+Query pipeline: embed the query with the same sentence transformer and
+rank cluster medoids by cosine similarity in the encoder's space (each
+medoid is a real data point, so its original vector is known); bring
+the query into the reduced space with a landmark transform and search
+(ANNS-style) only inside the ``top_clusters`` best clusters; finally
+score candidate relations *in the original embedding space* so scores
+and the threshold ``h`` stay on the same cosine scale as ExS and ANNS.
+
+HDBSCAN labels outliers as noise; a searchable index cannot drop them,
+so noise points are attached to the cluster of their nearest medoid
+(:attr:`n_noise_points` reports how many were absorbed).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.clustering.hdbscan_ import HDBSCAN
+from repro.clustering.medoids import medoid_index
+from repro.core.base import SearchMethod
+from repro.core.results import RelationMatch
+from repro.dimred.knn_graph import build_knn_graph
+from repro.dimred.pca import PCA
+from repro.dimred.umap_ import UMAP
+from repro.errors import ConfigurationError
+from repro.linalg.distances import Metric, euclidean_distance
+from repro.vectordb.collection import Point
+from repro.vectordb.database import VectorDatabase
+
+__all__ = ["ClusteredTargetedSearch"]
+
+
+class ClusteredTargetedSearch(SearchMethod):
+    """UMAP + HDBSCAN + medoid-routed targeted search.
+
+    Parameters
+    ----------
+    top_clusters:
+        How many nearest clusters a query is routed into.
+    per_cluster_candidates:
+        Nearest value vectors fetched from each routed cluster.
+    umap_components / umap_neighbors / umap_epochs:
+        UMAP configuration for the reduction step.
+    pca_components:
+        Optional PCA pre-reduction before UMAP (0 disables).  Standard
+        practice for high-dimensional text embeddings; also covered by
+        an ablation benchmark.
+    min_cluster_size / min_samples / cluster_selection_method:
+        HDBSCAN configuration; CTS defaults to leaf selection, which
+        yields many small fine-grained clusters — Excess-of-Mass tends
+        to keep one giant low-density cluster of generic cell values
+        (dates, codes, measures) that would swallow most of the corpus
+        and defeat targeted routing.
+    evidence_size:
+        The relation score is the average similarity of its
+        ``evidence_size`` best candidates, counting missing slots as
+        zero (same rationale as in :class:`repro.core.anns.ANNSearch`).
+    n_landmarks:
+        Queries are brought into the reduced space via a landmark
+        transform: distances to a fixed set of landmark points (all
+        cluster medoids plus a random sample) instead of the full
+        training set, keeping query cost independent of corpus size.
+    seed:
+        Seed shared by the reduction pipeline.
+    """
+
+    name = "cts"
+
+    def __init__(
+        self,
+        top_clusters: int = 20,
+        per_cluster_candidates: int = 64,
+        umap_components: int = 16,
+        umap_neighbors: int = 15,
+        umap_epochs: int = 120,
+        pca_components: int = 48,
+        min_cluster_size: int = 15,
+        min_samples: int | None = None,
+        cluster_selection_method: str = "leaf",
+        evidence_size: int = 16,
+        n_landmarks: int = 256,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if top_clusters < 1:
+            raise ConfigurationError("top_clusters must be >= 1")
+        if per_cluster_candidates < 1:
+            raise ConfigurationError("per_cluster_candidates must be >= 1")
+        self.top_clusters = top_clusters
+        self.per_cluster_candidates = per_cluster_candidates
+        self.umap_components = umap_components
+        self.umap_neighbors = umap_neighbors
+        self.umap_epochs = umap_epochs
+        self.pca_components = pca_components
+        self.min_cluster_size = min_cluster_size
+        self.min_samples = min_samples
+        self.cluster_selection_method = cluster_selection_method
+        if evidence_size < 1:
+            raise ConfigurationError("evidence_size must be >= 1")
+        self.evidence_size = evidence_size
+        self.n_landmarks = n_landmarks
+        self.seed = seed
+
+        self._db: VectorDatabase | None = None
+        self._pca: PCA | None = None
+        self._umap: UMAP | None = None
+        self._labels: np.ndarray | None = None
+        self._owner: np.ndarray | None = None
+        self._stacked: np.ndarray | None = None
+        self._medoid_rows: dict[int, int] = {}
+        self._n_noise = 0
+        self._landmark_working: np.ndarray | None = None
+        self._landmark_reduced: np.ndarray | None = None
+        self._working: np.ndarray | None = None
+        self._rep_rows: np.ndarray | None = None
+        self._labels_unique: np.ndarray | None = None
+        self._unique_to_rows: list[np.ndarray] = []
+
+    # -- offline indexing --------------------------------------------------
+
+    def _build(self) -> None:
+        stacked, owner = self.embeddings.stacked()
+        self._stacked = stacked.astype(np.float64)
+        self._owner = owner
+
+        # Reduce and cluster over globally UNIQUE values.  Common cell
+        # values ("2021", country names, category labels) repeat across
+        # relations with byte-identical vectors; left in place, each
+        # point's kNN list fills up with its own duplicates at distance
+        # zero, UMAP's fuzzy graph degenerates into duplicate islands
+        # and HDBSCAN clusters stop reflecting semantics.  Clustering
+        # the distinct vectors and broadcasting labels back restores
+        # the semantic neighbourhood structure (and shrinks the
+        # quadratic MST/kNN work).
+        rep_rows, row_to_unique = self._unique_rows()
+        reduced_unique = self._reduce(self._stacked[rep_rows])
+        labels_unique = self._cluster(reduced_unique)
+        labels_unique = self._absorb_noise(reduced_unique, labels_unique)
+        self._pick_landmarks(reduced_unique)
+        # Map medoids from unique-space indices to full-row indices so
+        # original-space lookups work.
+        self._medoid_rows = {
+            cid: int(rep_rows[u]) for cid, u in self._medoid_rows.items()
+        }
+        self._labels = labels_unique[row_to_unique]
+        self._rep_rows = rep_rows
+        self._labels_unique = labels_unique
+        # unique index -> all full rows carrying that value
+        order = np.argsort(row_to_unique, kind="stable")
+        boundaries = np.searchsorted(row_to_unique[order], np.arange(len(rep_rows) + 1))
+        self._unique_to_rows = [
+            order[boundaries[u] : boundaries[u + 1]] for u in range(len(rep_rows))
+        ]
+        self._populate_database(reduced_unique[row_to_unique], self._labels)
+
+    def _unique_rows(self) -> tuple[np.ndarray, np.ndarray]:
+        """First-occurrence row per distinct value text + row mapping."""
+        first: dict[str, int] = {}
+        rep_rows: list[int] = []
+        mapping: list[int] = []
+        for rel in self.embeddings.relations:
+            for value in rel.values:
+                uidx = first.get(value)
+                if uidx is None:
+                    uidx = len(rep_rows)
+                    first[value] = uidx
+                    rep_rows.append(len(mapping))
+                mapping.append(uidx)
+        return np.asarray(rep_rows, dtype=np.intp), np.asarray(mapping, dtype=np.intp)
+
+    def _reduce(self, vectors: np.ndarray) -> np.ndarray:
+        """PCA (optional) then UMAP, with the kNN graph precomputed."""
+        working = vectors
+        if self.pca_components and self.pca_components < vectors.shape[1]:
+            self._pca = PCA(n_components=self.pca_components, seed=self.seed)
+            working = self._pca.fit_transform(vectors)
+        self._working = working
+        n = working.shape[0]
+        knn = build_knn_graph(working, min(self.umap_neighbors, n - 1))
+        self._umap = UMAP(
+            n_components=min(self.umap_components, working.shape[1]),
+            n_neighbors=self.umap_neighbors,
+            n_epochs=self.umap_epochs,
+            precomputed_knn=knn,
+            seed=self.seed,
+        )
+        return self._umap.fit_transform(working)
+
+    def reduce_query(self, query_vector: np.ndarray) -> np.ndarray:
+        """Project a query vector into the clustered (UMAP) space.
+
+        Uses a landmark transform — the weighted average of the nearest
+        landmarks' reduced coordinates, the same rule as UMAP's
+        out-of-sample transform restricted to a fixed landmark set — so
+        the cost is independent of corpus size.  Search itself routes
+        and scores in the encoder's space; this projection exists for
+        inspecting and visualizing queries against the cluster map.
+        """
+        assert self._landmark_working is not None and self._landmark_reduced is not None
+        working = np.asarray(query_vector, dtype=np.float64)[np.newaxis, :]
+        if self._pca is not None:
+            working = self._pca.transform(working)
+        dists = euclidean_distance(working, self._landmark_working)[0]
+        k = min(self.umap_neighbors, dists.shape[0])
+        nearest = np.argpartition(dists, k - 1)[:k]
+        nd = dists[nearest]
+        scale = max(float(nd.mean()), 1e-12)
+        weights = np.exp(-nd / scale)
+        weights /= weights.sum()
+        return weights @ self._landmark_reduced[nearest]
+
+    def _pick_landmarks(self, reduced: np.ndarray) -> None:
+        """Medoids + random sample backing :meth:`reduce_query`."""
+        n = reduced.shape[0]
+        rng = np.random.default_rng(self.seed)
+        rows = set(self._medoid_rows.values())
+        extra = max(0, min(self.n_landmarks, n) - len(rows))
+        if extra:
+            rows.update(int(r) for r in rng.choice(n, size=extra, replace=False))
+        rows_arr = np.asarray(sorted(rows), dtype=np.intp)
+        self._landmark_working = self._working[rows_arr]
+        self._landmark_reduced = reduced[rows_arr]
+
+    def _cluster(self, reduced: np.ndarray) -> np.ndarray:
+        # Scale granularity with corpus size: a fixed min_cluster_size
+        # over a growing corpus yields ever more clusters, shrinking the
+        # fraction a fixed routing budget can reach.
+        scaled = max(self.min_cluster_size, reduced.shape[0] // 120)
+        clusterer = HDBSCAN(
+            min_cluster_size=min(scaled, max(2, reduced.shape[0] // 2)),
+            min_samples=self.min_samples,
+            cluster_selection_method=self.cluster_selection_method,
+        )
+        return clusterer.fit_predict(reduced)
+
+    def _absorb_noise(self, reduced: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Attach noise points to their nearest cluster medoid.
+
+        If HDBSCAN found no clusters at all (uniform data), everything
+        becomes one cluster so the index stays usable.
+        """
+        labels = labels.copy()
+        cluster_ids = sorted(set(labels.tolist()) - {-1})
+        if not cluster_ids:
+            labels[:] = 0
+            self._n_noise = 0
+            self._medoid_rows = {0: medoid_index(reduced)}
+            return labels
+
+        self._medoid_rows = {}
+        for cid in cluster_ids:
+            members = np.flatnonzero(labels == cid)
+            self._medoid_rows[cid] = int(members[medoid_index(reduced[members])])
+
+        noise = np.flatnonzero(labels == -1)
+        self._n_noise = int(noise.size)
+        if noise.size:
+            medoid_matrix = reduced[[self._medoid_rows[c] for c in cluster_ids]]
+            nearest = np.argmin(euclidean_distance(reduced[noise], medoid_matrix), axis=1)
+            labels[noise] = np.asarray(cluster_ids, dtype=labels.dtype)[nearest]
+        return labels
+
+    def _populate_database(self, reduced: np.ndarray, labels: np.ndarray) -> None:
+        """One collection per cluster + a medoid routing collection."""
+        assert self._owner is not None
+        assert self._stacked is not None
+        db = VectorDatabase()
+        dim = reduced.shape[1]
+        # Medoids are stored in the ORIGINAL embedding space: the query
+        # is "transformed into a vector using the same sentence
+        # transformer, allowing for a direct comparison between the
+        # query and the cluster medoids" (Sec 4.3) — the comparison is
+        # in the encoder's space, and each medoid is a real data point
+        # whose original vector is known.
+        medoid_collection = db.create_collection(
+            "medoids", dim=self._stacked.shape[1], metric=Metric.COSINE
+        )
+        relation_ids = self.embeddings.relation_ids()
+        for cid, medoid_row in sorted(self._medoid_rows.items()):
+            medoid_collection.upsert(
+                [
+                    Point(
+                        id=int(cid),
+                        vector=self._stacked[medoid_row],
+                        payload={"cluster": int(cid), "size": int((labels == cid).sum())},
+                    )
+                ]
+            )
+            members = np.flatnonzero(labels == cid)
+            cluster_collection = db.create_collection(
+                f"cluster_{cid}", dim=dim, metric=Metric.EUCLIDEAN
+            )
+            cluster_collection.upsert(
+                [
+                    Point(
+                        id=int(row),
+                        vector=reduced[row],
+                        payload={"relation": relation_ids[int(self._owner[row])]},
+                    )
+                    for row in members
+                ]
+            )
+        self._db = db
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def database(self) -> VectorDatabase:
+        if self._db is None:
+            raise RuntimeError("ClusteredTargetedSearch not indexed yet")
+        return self._db
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters in the built index."""
+        return len(self._medoid_rows)
+
+    @property
+    def n_noise_points(self) -> int:
+        """How many points HDBSCAN marked as noise (then absorbed)."""
+        return self._n_noise
+
+    def cluster_sizes(self) -> dict[int, int]:
+        """Members per cluster."""
+        assert self._labels is not None
+        ids, counts = np.unique(self._labels, return_counts=True)
+        return {int(i): int(c) for i, c in zip(ids, counts)}
+
+    # -- query ---------------------------------------------------------------
+
+    def _reduce_query(self, q: np.ndarray) -> np.ndarray:
+        """Landmark transform: weighted average of nearby landmarks'
+        reduced coordinates (same rule as UMAP's out-of-sample
+        transform, restricted to the landmark set for O(1) query cost
+        in the corpus size)."""
+        assert self._landmark_working is not None and self._landmark_reduced is not None
+        working = q[np.newaxis, :]
+        if self._pca is not None:
+            working = self._pca.transform(working)
+        dists = euclidean_distance(working, self._landmark_working)[0]
+        k = min(self.umap_neighbors, dists.shape[0])
+        nearest = np.argpartition(dists, k - 1)[:k]
+        nd = dists[nearest]
+        scale = max(float(nd.mean()), 1e-12)
+        weights = np.exp(-nd / scale)
+        weights /= weights.sum()
+        return weights @ self._landmark_reduced[nearest]
+
+    def _score_all(self, query: str) -> list[RelationMatch]:
+        q = self.embeddings.encode_query(query)
+
+        medoids = self.database.get_collection("medoids")
+        routed = medoids.search(q, k=self.top_clusters)
+
+        # Per routed cluster, keep the best ``per_cluster_candidates``
+        # DISTINCT member values by cosine similarity to the query in
+        # the encoder's space, then expand each kept value to every
+        # relation that contains it.  Clusters are small (HDBSCAN
+        # leaves), so exact scoring within a cluster is the "ANNS steps
+        # inside the top-k clusters" of Algorithm 3 while remaining
+        # targeted: values outside the routed clusters are never
+        # touched.  Scoring in the original space (rather than at the
+        # query's UMAP landmark position) matters for multi-keyword
+        # queries, whose reduced image lies between clusters where
+        # distances are meaningless.
+        assert self._stacked is not None and self._labels_unique is not None
+        candidate_rows: list[int] = []
+        for cluster_hit in routed:
+            members_u = np.flatnonzero(self._labels_unique == int(cluster_hit.id))
+            if members_u.size == 0:
+                continue
+            member_sims = self._stacked[self._rep_rows[members_u]] @ q
+            keep = min(self.per_cluster_candidates, members_u.shape[0])
+            best = np.argpartition(-member_sims, keep - 1)[:keep]
+            for u in members_u[best]:
+                candidate_rows.extend(int(r) for r in self._unique_to_rows[int(u)])
+
+        if not candidate_rows:
+            return []
+
+        assert self._owner is not None
+        rows = np.asarray(sorted(set(candidate_rows)), dtype=np.intp)
+        sims = self._stacked[rows] @ q
+        relation_ids = self.embeddings.relation_ids()
+        counts = np.concatenate([rel.counts for rel in self.embeddings.relations])
+
+        per_relation: dict[str, list[float]] = defaultdict(list)
+        for row, sim in zip(rows, sims):
+            # Multiplicity-weighted, as in ExS: a value occurring k
+            # times in the relation is k matched attributes.
+            per_relation[relation_ids[int(self._owner[row])]].extend(
+                [float(sim)] * int(counts[row])
+            )
+        m = self.evidence_size
+        return [
+            RelationMatch(
+                relation_id=relation_id,
+                score=sum(sorted(scores, reverse=True)[:m]) / m,
+                details={
+                    "n_hits": len(scores),
+                    "clusters": [int(c.id) for c in routed],
+                },
+            )
+            for relation_id, scores in per_relation.items()
+        ]

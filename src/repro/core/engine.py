@@ -1,0 +1,143 @@
+"""The :class:`DiscoveryEngine` facade (Figure 2's framework, as code).
+
+The engine owns the encoder and the federation's semantic
+representation, builds each method's index lazily and exactly once, and
+serves queries through a single entry point — so ExS, ANNS and CTS are
+always compared over identical embeddings.
+"""
+
+from __future__ import annotations
+
+from repro.core.anns import ANNSearch
+from repro.core.base import SearchMethod
+from repro.core.cts import ClusteredTargetedSearch
+from repro.core.exhaustive import ExhaustiveSearch
+from repro.core.results import SearchResult
+from repro.core.semimg import (
+    FederationEmbeddings,
+    build_federation_embeddings,
+    load_federation_embeddings,
+    save_federation_embeddings,
+)
+from repro.datamodel.relation import Federation
+from repro.embedding.base import SentenceEncoder
+from repro.embedding.cache import CachingEncoder
+from repro.embedding.semantic import SemanticHashEncoder
+from repro.errors import ConfigurationError, NotFittedError
+
+__all__ = ["DiscoveryEngine"]
+
+
+class DiscoveryEngine:
+    """Index a federation once, search it with any method.
+
+    Parameters
+    ----------
+    encoder:
+        Sentence encoder; defaults to a cached
+        :class:`SemanticHashEncoder` at ``dim`` dimensions.
+    dim:
+        Dimensionality of the default encoder (ignored when ``encoder``
+        is given). 768 matches the paper's model; experiments use
+        smaller dims for speed.
+    method_params:
+        Per-method constructor overrides, e.g.
+        ``{"cts": {"top_clusters": 3}, "anns": {"n_candidates": 64}}``.
+
+    Example
+    -------
+    >>> engine = DiscoveryEngine(dim=128)
+    >>> engine.index(federation)                        # doctest: +SKIP
+    >>> result = engine.search("covid vaccine", method="cts")  # doctest: +SKIP
+    """
+
+    METHODS = ("exs", "anns", "cts")
+
+    def __init__(
+        self,
+        encoder: SentenceEncoder | None = None,
+        dim: int = 768,
+        method_params: dict[str, dict] | None = None,
+    ) -> None:
+        if encoder is None:
+            encoder = CachingEncoder(SemanticHashEncoder(dim=dim))
+        self.encoder = encoder
+        self.method_params = dict(method_params or {})
+        unknown = set(self.method_params) - set(self.METHODS)
+        if unknown:
+            raise ConfigurationError(f"unknown methods in method_params: {sorted(unknown)}")
+        self._embeddings: FederationEmbeddings | None = None
+        self._methods: dict[str, SearchMethod] = {}
+
+    # -- indexing -----------------------------------------------------------
+
+    def index(self, federation: Federation) -> "DiscoveryEngine":
+        """Vectorize the federation (methods build lazily on first use)."""
+        self._embeddings = build_federation_embeddings(federation, self.encoder)
+        self._methods.clear()
+        return self
+
+    @property
+    def embeddings(self) -> FederationEmbeddings:
+        if self._embeddings is None:
+            raise NotFittedError("DiscoveryEngine.index() has not been called")
+        return self._embeddings
+
+    @property
+    def is_indexed(self) -> bool:
+        return self._embeddings is not None
+
+    def save_index(self, path) -> None:
+        """Persist the federation embeddings (not the method indexes,
+        which rebuild quickly relative to re-embedding)."""
+        save_federation_embeddings(self.embeddings, path)
+
+    def load_index(self, path) -> "DiscoveryEngine":
+        """Restore embeddings saved by :meth:`save_index`.
+
+        The engine must be configured with the same encoder settings
+        that built the saved embeddings.
+        """
+        self._embeddings = load_federation_embeddings(path, self.encoder)
+        self._methods.clear()
+        return self
+
+    def _make_method(self, name: str) -> SearchMethod:
+        params = self.method_params.get(name, {})
+        if name == "exs":
+            return ExhaustiveSearch(**params)
+        if name == "anns":
+            return ANNSearch(**params)
+        if name == "cts":
+            return ClusteredTargetedSearch(**params)
+        raise ConfigurationError(
+            f"unknown method {name!r}; expected one of {self.METHODS}"
+        )
+
+    def method(self, name: str) -> SearchMethod:
+        """Get (building if needed) a search method's index."""
+        if name not in self._methods:
+            method = self._make_method(name)
+            method.index(self.embeddings)
+            self._methods[name] = method
+        return self._methods[name]
+
+    def build_all(self) -> "DiscoveryEngine":
+        """Eagerly build every method's index (used before timing runs)."""
+        for name in self.METHODS:
+            self.method(name)
+        return self
+
+    # -- querying ---------------------------------------------------------------
+
+    def search(
+        self, query: str, method: str = "cts", k: int = 10, h: float = 0.0
+    ) -> SearchResult:
+        """Answer a keyword query with the chosen algorithm."""
+        return self.method(method).search(query, k=k, h=h)
+
+    def search_all_methods(
+        self, query: str, k: int = 10, h: float = 0.0
+    ) -> dict[str, SearchResult]:
+        """Run the same query through ExS, ANNS and CTS (for comparisons)."""
+        return {name: self.search(query, method=name, k=k, h=h) for name in self.METHODS}

@@ -1,0 +1,88 @@
+"""Exhaustive Search (ExS) — Algorithm 1 of the paper.
+
+Embed the query, compare it against *every* attribute-value vector of
+every relation, average per relation, sort, threshold, top-k.  Accurate
+but linear in the total number of values — and, as Sec 5.3 observes,
+averaging over all attributes dilutes relevance on focused queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import SearchMethod
+from repro.core.results import RelationMatch
+
+__all__ = ["ExhaustiveSearch"]
+
+
+class ExhaustiveSearch(SearchMethod):
+    """Brute-force value-level semantic matching.
+
+    Parameters
+    ----------
+    aggregate:
+        ``"mean"`` (the paper's average over all attribute scores) or
+        ``"max_mean"`` — the mean of each relation's ``top_fraction``
+        best scores, an ablation knob for the dilution effect.
+    top_fraction:
+        Only used by ``"max_mean"``.
+    vectorized:
+        Algorithm 1 computes "the similarity score s between q' and
+        each attribute vector" one attribute at a time; the default
+        mirrors that per-attribute loop (and its cost profile — ExS is
+        the paper's slowest method by an order of magnitude).  Set
+        True for a batched matrix scan that produces identical scores.
+    """
+
+    name = "exs"
+
+    def __init__(
+        self,
+        aggregate: str = "mean",
+        top_fraction: float = 0.1,
+        vectorized: bool = False,
+    ):
+        super().__init__()
+        if aggregate not in ("mean", "max_mean"):
+            raise ValueError("aggregate must be 'mean' or 'max_mean'")
+        if not 0.0 < top_fraction <= 1.0:
+            raise ValueError("top_fraction must be in (0, 1]")
+        self.aggregate = aggregate
+        self.top_fraction = top_fraction
+        self.vectorized = vectorized
+
+    def _build(self) -> None:
+        # ExS needs no auxiliary structures: the semantic representation
+        # itself is scanned at query time.
+        pass
+
+    def _score_all(self, query: str) -> list[RelationMatch]:
+        q = self.embeddings.encode_query(query)
+        matches = []
+        for rel in self.embeddings.relations:
+            if self.vectorized:
+                sims = rel.vectors @ q  # unit vectors: dot == cosine
+            else:
+                # Algorithm 1: "foreach Attribute v in r: compute the
+                # similarity score s between q' and w".
+                sims = np.fromiter(
+                    (float(np.dot(rel.vectors[i], q)) for i in range(rel.n_unique)),
+                    dtype=np.float64,
+                    count=rel.n_unique,
+                )
+            if self.aggregate == "mean":
+                # Multiplicity-weighted mean == mean over all occurrences.
+                score = float(np.average(sims, weights=rel.counts))
+            else:
+                keep = max(1, int(np.ceil(self.top_fraction * sims.shape[0])))
+                top = np.partition(sims, sims.shape[0] - keep)[-keep:]
+                score = float(top.mean())
+            matches.append(
+                RelationMatch(
+                    relation_id=rel.relation_id,
+                    score=score,
+                    details={"n_values": rel.n_cells},
+                )
+            )
+        return matches

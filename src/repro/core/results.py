@@ -1,0 +1,54 @@
+"""Result types shared by the three search methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["RelationMatch", "SearchResult"]
+
+
+@dataclass(frozen=True)
+class RelationMatch:
+    """One ranked relation: qualified id + match score (+ diagnostics)."""
+
+    relation_id: str
+    score: float
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SearchResult:
+    """A ranked answer to one query.
+
+    Attributes
+    ----------
+    query:
+        The keyword query text.
+    method:
+        Which algorithm produced the ranking ("exs"/"anns"/"cts"/...).
+    matches:
+        Relations sorted by descending score (already thresholded).
+    elapsed_ms:
+        Wall-clock query latency in milliseconds (search only, not
+        indexing).
+    """
+
+    query: str
+    method: str
+    matches: list[RelationMatch]
+    elapsed_ms: float = 0.0
+
+    def relation_ids(self) -> list[str]:
+        """The ranked relation ids, best first."""
+        return [m.relation_id for m in self.matches]
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __iter__(self):
+        return iter(self.matches)
+
+    def top(self) -> RelationMatch | None:
+        """Best match, or None when nothing passed the threshold."""
+        return self.matches[0] if self.matches else None

@@ -1,0 +1,228 @@
+"""Semantic representations (``semImg``) of attributes, relations, federations.
+
+The paper (Sec 4) defines the semantic representation of an attribute
+``<n, v>`` as ``<n, semImg(v)>`` where ``semImg(v)`` is the encoder's
+vector for the value, and the semantic representation of a relation as
+the set of its tuples' representations.  This module materializes those
+as numpy matrices.
+
+Cells repeat heavily in tables (dates, categories, country names), so
+each relation stores its *unique* ``(name, value)`` pairs together with
+their multiplicities.  Averages weighted by multiplicity are exactly
+the averages over all attribute occurrences that Algorithm 1 computes,
+at a fraction of the memory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.datamodel.relation import Federation, Relation
+from repro.embedding.base import SentenceEncoder
+from repro.errors import ConfigurationError
+from repro.linalg.distances import normalize_rows
+
+__all__ = [
+    "RelationEmbedding",
+    "FederationEmbeddings",
+    "build_relation_embedding",
+    "build_federation_embeddings",
+    "load_federation_embeddings",
+    "save_federation_embeddings",
+]
+
+
+@dataclass(frozen=True)
+class RelationEmbedding:
+    """semImg of one relation.
+
+    Attributes
+    ----------
+    relation_id:
+        Qualified ``dataset/relation`` id.
+    values:
+        The unique cell values, aligned with ``vectors`` rows.
+    attr_names:
+        Attribute name of each unique (name, value) pair.
+    vectors:
+        ``(n_unique, dim)`` float32 unit vectors.
+    counts:
+        Multiplicity of each unique pair in the relation.
+    """
+
+    relation_id: str
+    values: tuple[str, ...]
+    attr_names: tuple[str, ...]
+    vectors: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def n_unique(self) -> int:
+        return self.vectors.shape[0]
+
+    @property
+    def n_cells(self) -> int:
+        """Total attribute occurrences represented."""
+        return int(self.counts.sum())
+
+    @property
+    def dim(self) -> int:
+        return self.vectors.shape[1]
+
+
+def build_relation_embedding(
+    relation_id: str, relation: Relation, encoder: SentenceEncoder
+) -> RelationEmbedding:
+    """Embed every attribute value of ``relation`` (deduplicated).
+
+    Two pseudo attributes join the cell values:
+
+    * ``__caption__`` — the caption, when present; both evaluation
+      corpora provide captions and the paper consolidates body and
+      caption for WikiTables.
+    * ``__schema__`` — the header row as one string; in the web-table
+      model headers are table content too, and attribute-style queries
+      ("Irish counties area") often name a column rather than a value.
+    """
+    pair_counts: dict[tuple[str, str], int] = {}
+    for attr in relation.attributes():
+        key = (attr.name, attr.value)
+        pair_counts[key] = pair_counts.get(key, 0) + 1
+    if relation.caption:
+        pair_counts[("__caption__", relation.caption)] = (
+            pair_counts.get(("__caption__", relation.caption), 0) + 1
+        )
+    if relation.schema:
+        header = " ".join(relation.schema)
+        pair_counts[("__schema__", header)] = pair_counts.get(("__schema__", header), 0) + 1
+    if not pair_counts:
+        raise ConfigurationError(f"relation {relation_id!r} has no content to embed")
+    names, values = zip(*pair_counts.keys())
+    vectors = encoder.encode(list(values)).astype(np.float32)
+    vectors = normalize_rows(vectors).astype(np.float32)
+    return RelationEmbedding(
+        relation_id=relation_id,
+        values=tuple(values),
+        attr_names=tuple(names),
+        vectors=vectors,
+        counts=np.fromiter(pair_counts.values(), dtype=np.int64),
+    )
+
+
+@dataclass
+class FederationEmbeddings:
+    """semImg of a whole federation plus the encoder used to build it.
+
+    Keeping the encoder here guarantees queries are embedded in the
+    same space as the data — and, as the paper emphasizes, data
+    vectorization is independent of any query.
+    """
+
+    relations: list[RelationEmbedding]
+    encoder: SentenceEncoder
+    build_seconds: float = 0.0
+
+    @property
+    def dim(self) -> int:
+        if not self.relations:
+            raise ConfigurationError("empty federation embeddings")
+        return self.relations[0].dim
+
+    @property
+    def n_relations(self) -> int:
+        return len(self.relations)
+
+    @property
+    def total_vectors(self) -> int:
+        return sum(r.n_unique for r in self.relations)
+
+    def relation_ids(self) -> list[str]:
+        return [r.relation_id for r in self.relations]
+
+    def encode_query(self, query: str) -> np.ndarray:
+        """semImg(Q): the query's unit vector in the shared space."""
+        vector = self.encoder.encode_one(query)
+        norm = np.linalg.norm(vector)
+        return vector / norm if norm > 0 else vector
+
+    def stacked(self) -> tuple[np.ndarray, np.ndarray]:
+        """All value vectors stacked, plus each row's relation index.
+
+        Returns ``(matrix, owner)`` where ``owner[i]`` is the index into
+        :attr:`relations` of the relation owning row ``i``.
+        """
+        matrix = np.vstack([r.vectors for r in self.relations])
+        owner = np.concatenate(
+            [np.full(r.n_unique, i, dtype=np.intp) for i, r in enumerate(self.relations)]
+        )
+        return matrix, owner
+
+
+def save_federation_embeddings(
+    embeddings: FederationEmbeddings, path: "str | Path"
+) -> None:
+    """Persist federation embeddings to one ``.npz`` file.
+
+    Vectorizing is the expensive offline step; persisting it lets a
+    deployment embed once and serve many sessions.  The encoder itself
+    is not stored — load with the same encoder configuration so query
+    vectors stay in the same space.
+    """
+    arrays: dict[str, np.ndarray] = {
+        "relation_ids": np.array([r.relation_id for r in embeddings.relations]),
+    }
+    for i, rel in enumerate(embeddings.relations):
+        arrays[f"vectors_{i}"] = rel.vectors
+        arrays[f"counts_{i}"] = rel.counts
+        arrays[f"values_{i}"] = np.array(rel.values)
+        arrays[f"names_{i}"] = np.array(rel.attr_names)
+    np.savez_compressed(path, **arrays)
+
+
+def load_federation_embeddings(
+    path: "str | Path", encoder: SentenceEncoder
+) -> FederationEmbeddings:
+    """Restore embeddings saved by :func:`save_federation_embeddings`.
+
+    ``encoder`` must match the configuration used when building; a
+    dimensionality mismatch is rejected immediately.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        relation_ids = [str(r) for r in data["relation_ids"]]
+        relations = []
+        for i, relation_id in enumerate(relation_ids):
+            vectors = data[f"vectors_{i}"]
+            if vectors.shape[1] != encoder.dim:
+                raise ConfigurationError(
+                    f"stored embeddings are {vectors.shape[1]}-dim but the "
+                    f"encoder produces {encoder.dim}-dim vectors"
+                )
+            relations.append(
+                RelationEmbedding(
+                    relation_id=relation_id,
+                    values=tuple(str(v) for v in data[f"values_{i}"]),
+                    attr_names=tuple(str(n) for n in data[f"names_{i}"]),
+                    vectors=vectors,
+                    counts=data[f"counts_{i}"],
+                )
+            )
+    return FederationEmbeddings(relations=relations, encoder=encoder)
+
+
+def build_federation_embeddings(
+    federation: Federation, encoder: SentenceEncoder
+) -> FederationEmbeddings:
+    """Vectorize an entire federation (the offline indexing step)."""
+    start = time.perf_counter()
+    relations = [
+        build_relation_embedding(relation_id, relation, encoder)
+        for relation_id, relation in federation.relations()
+    ]
+    if not relations:
+        raise ConfigurationError("federation contains no relations")
+    elapsed = time.perf_counter() - start
+    return FederationEmbeddings(relations=relations, encoder=encoder, build_seconds=elapsed)

@@ -1,0 +1,42 @@
+"""Synthetic benchmark data standing in for WikiTables and the EDP corpus.
+
+Tables, queries and graded relevance judgments are generated from a
+shared latent topic model grounded in the concept lexicon: a table
+about a topic renders the topic's concepts with randomly chosen
+surface forms (synonyms), and queries about the same topic use their
+own surface forms — so lexical overlap between a relevant query-table
+pair is unreliable, exactly the condition the paper's semantic
+matching targets (Figure 1).
+
+* :mod:`repro.data.topics` — the latent topics and their facets.
+* :mod:`repro.data.synthesis` — the shared table/query/qrels generator.
+* :mod:`repro.data.wikitables` — the WikiTables-like corpus (26.9%
+  numeric cells, captioned tables, 3,117 judged pairs).
+* :mod:`repro.data.edp` — the EDP-like open-data corpus (55.3% numeric,
+  richer metadata).
+* :mod:`repro.data.queries` — QS-1/QS-2-style query sets categorized
+  SQ/MQ/LQ.
+* :mod:`repro.data.covid` — the exact Figure 1 federation.
+"""
+
+from repro.data.corpus import Corpus, DatasetScale
+from repro.data.covid import covid_federation
+from repro.data.export import export_corpus, load_corpus
+from repro.data.edp import generate_edp_corpus
+from repro.data.queries import QueryCategory, QuerySpec
+from repro.data.topics import TOPICS, Topic
+from repro.data.wikitables import generate_wikitables_corpus
+
+__all__ = [
+    "Corpus",
+    "DatasetScale",
+    "QueryCategory",
+    "QuerySpec",
+    "TOPICS",
+    "Topic",
+    "covid_federation",
+    "export_corpus",
+    "generate_edp_corpus",
+    "generate_wikitables_corpus",
+    "load_corpus",
+]

@@ -1,0 +1,132 @@
+"""The Corpus container: relations + queries + qrels + scale partitions."""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.data.queries import QueryCategory, QuerySpec
+from repro.datamodel.relation import Dataset, Federation, Relation
+from repro.errors import DataGenerationError
+from repro.eval.qrels import Qrels
+
+__all__ = ["Corpus", "DatasetScale"]
+
+
+class DatasetScale(str, enum.Enum):
+    """The paper's scalability partitions (Sec 5, Datasets)."""
+
+    SMALL = "SD"  # 10% of the original data
+    MODERATE = "MD"  # 50%
+    LARGE = "LD"  # 100%
+
+    @property
+    def fraction(self) -> float:
+        return {"SD": 0.10, "MD": 0.50, "LD": 1.00}[self.value]
+
+
+@dataclass
+class Corpus:
+    """A generated benchmark: tables, their latent facets, queries, qrels.
+
+    ``table_facets`` maps each qualified relation id to the
+    ``(topic, region, year)`` that generated it — the ground truth the
+    qrels were derived from, kept for analysis and tests.
+    """
+
+    name: str
+    relations: list[Relation]
+    table_facets: dict[str, tuple[str, str, int]]
+    queries: list[QuerySpec]
+    qrels: Qrels
+    numeric_cell_fraction: float = 0.0
+    _partition_cache: dict[DatasetScale, Federation] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.relations:
+            raise DataGenerationError("corpus has no relations")
+
+    # -- ids ----------------------------------------------------------------
+
+    def qualified_id(self, relation: Relation) -> str:
+        return f"{self.name}/{relation.name}"
+
+    def relation_ids(self) -> list[str]:
+        return [self.qualified_id(r) for r in self.relations]
+
+    # -- partitions ------------------------------------------------------------
+
+    def partition_relations(self, scale: DatasetScale) -> list[Relation]:
+        """The scale's relation subset, stratified by topic.
+
+        Taking the first ``fraction`` of each topic's tables (in
+        generation order) keeps every topic represented at every scale,
+        so quality differences across scales measure corpus *size*, not
+        corpus composition.
+        """
+        if scale is DatasetScale.LARGE:
+            return list(self.relations)
+        by_topic: dict[str, list[Relation]] = defaultdict(list)
+        for relation in self.relations:
+            topic, _, _ = self.table_facets[self.qualified_id(relation)]
+            by_topic[topic].append(relation)
+        kept: list[Relation] = []
+        for topic in sorted(by_topic):
+            members = by_topic[topic]
+            kept.extend(members[: max(1, math.ceil(scale.fraction * len(members)))])
+        # Preserve original generation order.
+        order = {r.name: i for i, r in enumerate(self.relations)}
+        kept.sort(key=lambda r: order[r.name])
+        return kept
+
+    def federation(self, scale: DatasetScale = DatasetScale.LARGE) -> Federation:
+        """A federation over the scale's relations (cached per scale)."""
+        if scale not in self._partition_cache:
+            dataset = Dataset(self.name, self.partition_relations(scale))
+            self._partition_cache[scale] = Federation(
+                name=f"{self.name}-{scale.value}", datasets=[dataset]
+            )
+        return self._partition_cache[scale]
+
+    def qrels_for(self, scale: DatasetScale = DatasetScale.LARGE) -> Qrels:
+        """Qrels restricted to the scale's relations."""
+        if scale is DatasetScale.LARGE:
+            return self.qrels
+        ids = {self.qualified_id(r) for r in self.partition_relations(scale)}
+        return self.qrels.restrict_to(ids)
+
+    # -- queries ------------------------------------------------------------------
+
+    def queries_of(self, category: QueryCategory) -> list[QuerySpec]:
+        return [q for q in self.queries if q.category is category]
+
+    def query_texts(self, category: QueryCategory | None = None) -> list[str]:
+        specs = self.queries if category is None else self.queries_of(category)
+        return [q.text for q in specs]
+
+    def qrels_of(
+        self, category: QueryCategory, scale: DatasetScale = DatasetScale.LARGE
+    ) -> Qrels:
+        """Scale-restricted qrels for one query-length category."""
+        texts = set(self.query_texts(category))
+        scoped = self.qrels_for(scale)
+        out = Qrels()
+        for query, relation_id, grade in scoped.pairs():
+            if query in texts:
+                out.add(query, relation_id, grade)
+        return out
+
+    # -- summary --------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line corpus summary for logs and experiment headers."""
+        cats = {c.value: len(self.queries_of(c)) for c in QueryCategory}
+        return (
+            f"{self.name}: {len(self.relations)} tables, "
+            f"{len(self.queries)} queries {cats}, {self.qrels.n_pairs} judged pairs, "
+            f"{self.numeric_cell_fraction:.1%} numeric cells"
+        )

@@ -1,0 +1,92 @@
+"""The motivating COVID-19 federation from Figure 1 of the paper.
+
+Three relations from three health organizations, each describing COVID
+vaccinations with *different vocabulary*: WHO uses vaccine trade names
+(Comirnaty, Vaxzevria...), CDC uses immunogen types (mRNA, vector
+virus...), and only ECDC mentions the literal keyword "COVID-19".
+Keyword search for "COVID" finds only ECDC; semantic matching should
+surface all three.
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.relation import Federation, Relation
+
+__all__ = ["covid_federation", "who_relation", "cdc_relation", "ecdc_relation"]
+
+
+def who_relation() -> Relation:
+    """WHO: vaccinations by region, vaccines named by trade name."""
+    return Relation(
+        "WHO",
+        ["Region", "Date", "Vaccine", "Dosage"],
+        [
+            ["North America", "2021-01-01", "Comirnaty", "First"],
+            ["Europe", "2021-02-01", "Vaxzevria", "Second"],
+            ["Asia", "2021-03-01", "CoronaVac", "First"],
+            ["Africa", "2021-04-01", "Covaxin", "Second"],
+        ],
+        caption="vaccination records by world region",
+    )
+
+
+def cdc_relation() -> Relation:
+    """CDC: vaccinations by US state, vaccines named by immunogen."""
+    return Relation(
+        "CDC",
+        ["State", "Date", "Immunogen", "Manufacturer"],
+        [
+            ["California", "2021-01-01", "mRNA", "Moderna"],
+            ["Texas", "2021-02-01", "Vector Virus", "Janssen"],
+            ["Florida", "2021-03-01", "mRNA", "Pfizer"],
+            ["New York", "2021-04-01", "Protein Subunit", "Novavax"],
+        ],
+        caption="immunization by state and manufacturer",
+    )
+
+
+def ecdc_relation() -> Relation:
+    """ECDC: vaccinations by EU country, with an explicit Disease column."""
+    return Relation(
+        "ECDC",
+        ["Country", "Date", "Trade Name", "Disease"],
+        [
+            ["Germany", "2021-01-01", "Pfizer-BioNTech", "COVID-19"],
+            ["France", "2021-02-01", "AstraZeneca", "COVID-19"],
+            ["Spain", "2021-03-01", "Moderna", "COVID-19"],
+            ["Italy", "2021-04-01", "Pfizer-BioNTech", "COVID-19"],
+        ],
+        caption="vaccination by eu country",
+    )
+
+
+def distractor_relations() -> list[Relation]:
+    """Unrelated tables that a good method must rank below the trio."""
+    return [
+        Relation(
+            "FootballResults",
+            ["Team", "Year", "Trophy"],
+            [["Ajax", "2021", "League"], ["PSV", "2020", "Cup"], ["Feyenoord", "2019", "Cup"]],
+            caption="football league results netherlands",
+        ),
+        Relation(
+            "GDPFigures",
+            ["Country", "Year", "GDP"],
+            [["Germany", "2020", "3.8"], ["France", "2020", "2.6"], ["Italy", "2020", "1.9"]],
+            caption="gross domestic product by country",
+        ),
+        Relation(
+            "MoonPhases",
+            ["Date", "Phase", "Illumination"],
+            [["2021-01-06", "Last Quarter", "50"], ["2021-01-13", "New Moon", "0"]],
+            caption="phases of the moon calendar",
+        ),
+    ]
+
+
+def covid_federation(include_distractors: bool = True) -> Federation:
+    """The Figure 1 federation (optionally with distractor tables)."""
+    relations = [who_relation(), cdc_relation(), ecdc_relation()]
+    if include_distractors:
+        relations.extend(distractor_relations())
+    return Federation.from_relations(relations, name="covid")

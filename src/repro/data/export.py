@@ -1,0 +1,105 @@
+"""Export generated corpora to plain files and re-import them.
+
+Lets downstream users inspect the benchmark data (or swap in their own)
+without going through the generator: one CSV per table, a queries TSV,
+and the qrels JSON — plus a loader building a :class:`Corpus` back from
+such a directory.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.data.corpus import Corpus
+from repro.data.queries import QueryCategory, QuerySource, QuerySpec
+from repro.datamodel.loaders import relation_from_csv
+from repro.errors import DataGenerationError
+from repro.eval.qrels import Qrels
+
+__all__ = ["export_corpus", "load_corpus"]
+
+_META = "corpus.json"
+
+
+def export_corpus(corpus: Corpus, directory: str | Path) -> Path:
+    """Write a corpus to ``directory`` (tables/, queries.tsv, qrels.json).
+
+    Returns the directory path.  Captions, metadata and the latent
+    facets (the generation ground truth) go into ``corpus.json``.
+    """
+    directory = Path(directory)
+    tables_dir = directory / "tables"
+    tables_dir.mkdir(parents=True, exist_ok=True)
+
+    for relation in corpus.relations:
+        with open(tables_dir / f"{relation.name}.csv", "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(relation.schema)
+            for row in relation:
+                writer.writerow(row.values)
+
+    with open(directory / "queries.tsv", "w") as fh:
+        fh.write("category\tsource\ttopic\tregion\tyear\ttext\n")
+        for q in corpus.queries:
+            fh.write(
+                f"{q.category.value}\t{q.source.value}\t{q.topic}\t"
+                f"{q.region or ''}\t{q.year or ''}\t{q.text}\n"
+            )
+
+    corpus.qrels.save(directory / "qrels.json")
+
+    meta = {
+        "name": corpus.name,
+        "numeric_cell_fraction": corpus.numeric_cell_fraction,
+        "captions": {r.name: r.caption for r in corpus.relations},
+        "metadata": {r.name: r.metadata for r in corpus.relations},
+        "facets": {rid: list(facet) for rid, facet in corpus.table_facets.items()},
+    }
+    with open(directory / _META, "w") as fh:
+        json.dump(meta, fh, indent=1)
+    return directory
+
+
+def load_corpus(directory: str | Path) -> Corpus:
+    """Rebuild a corpus from a directory written by :func:`export_corpus`."""
+    directory = Path(directory)
+    meta_path = directory / _META
+    if not meta_path.exists():
+        raise DataGenerationError(f"{directory} has no {_META}; not an exported corpus")
+    with open(meta_path) as fh:
+        meta = json.load(fh)
+
+    relations = []
+    for path in sorted((directory / "tables").glob("*.csv")):
+        relation = relation_from_csv(path, caption=meta["captions"].get(path.stem, ""))
+        relation.metadata.update(meta["metadata"].get(path.stem, {}))
+        relations.append(relation)
+    if not relations:
+        raise DataGenerationError(f"{directory}/tables contains no CSV files")
+
+    queries: list[QuerySpec] = []
+    with open(directory / "queries.tsv") as fh:
+        next(fh)  # header
+        for line in fh:
+            category, source, topic, region, year, text = line.rstrip("\n").split("\t", 5)
+            queries.append(
+                QuerySpec(
+                    text=text,
+                    category=QueryCategory(category),
+                    source=QuerySource(source),
+                    topic=topic,
+                    region=region or None,
+                    year=int(year) if year else None,
+                )
+            )
+
+    return Corpus(
+        name=meta["name"],
+        relations=relations,
+        table_facets={rid: tuple(facet) for rid, facet in meta["facets"].items()},
+        queries=queries,
+        qrels=Qrels.load(directory / "qrels.json"),
+        numeric_cell_fraction=meta["numeric_cell_fraction"],
+    )

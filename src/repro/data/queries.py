@@ -1,0 +1,56 @@
+"""Query specifications: QS-1/QS-2 styles, SQ/MQ/LQ length categories."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["QueryCategory", "QuerySource", "QuerySpec"]
+
+
+class QueryCategory(str, enum.Enum):
+    """The paper's query length taxonomy (Sec 5, Queries)."""
+
+    SHORT = "SQ"  # <= 3 keywords
+    MODERATE = "MQ"  # <= 30 keywords, typically a sentence
+    LONG = "LQ"  # 30..300 keywords
+
+    @property
+    def max_keywords(self) -> int:
+        return {"SQ": 3, "MQ": 30, "LQ": 300}[self.value]
+
+
+class QuerySource(str, enum.Enum):
+    """Which query-log style a query imitates.
+
+    QS-1: Mechanical-Turk style topical phrases ("Beijing Olympics",
+    "Phases of the Moon"); QS-2: Google-Squared attribute style
+    ("Irish counties area", "EU countries year joined").
+    """
+
+    QS1 = "QS-1"
+    QS2 = "QS-2"
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A generated query plus the latent variables that produced it.
+
+    The latent topic/facet fields exist so qrels can be derived
+    consistently; retrieval methods only ever see ``text``.
+    """
+
+    text: str
+    category: QueryCategory
+    source: QuerySource
+    topic: str
+    region: str | None = None
+    year: int | None = None
+
+    @property
+    def n_keywords(self) -> int:
+        return len(self.text.split())
+
+    def is_facet_specific(self) -> bool:
+        """Whether the query pins a region or year facet."""
+        return self.region is not None or self.year is not None

@@ -1,0 +1,472 @@
+"""The shared table / query / qrels generator.
+
+Everything is driven by one latent model: a table is generated from a
+``(topic, region, year)`` triple; a query from a topic plus optional
+region/year facets; relevance grades follow from the latent variables
+(same topic + compatible facets = 2; same topic, facet mismatch, or a
+related topic = 1; otherwise 0).
+
+Surface forms are sampled from the concept lexicon's synonym sets
+independently for tables and queries, so a fully relevant pair often
+shares *no* keywords — the regime in which syntactic baselines fail
+and semantic matching is required (the paper's motivating example).
+"""
+
+from __future__ import annotations
+
+import math
+import string
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.data.queries import QueryCategory, QuerySource, QuerySpec
+from repro.data.topics import REGION_CONCEPTS, TOPICS, YEARS, Topic
+from repro.datamodel.relation import Relation
+from repro.errors import DataGenerationError
+from repro.eval.qrels import Qrels
+from repro.text.lexicon import ConceptLexicon, default_lexicon
+from repro.text.tokenize import Tokenizer, is_numeric_token
+
+__all__ = ["CorpusSynthesizer"]
+
+_ENTITY_COLUMN_NAMES = ("Region", "Country", "State", "Area", "Territory")
+_CATEGORY_COLUMN_NAMES = ("Category", "Type", "Item", "Subject", "Name")
+_FILLER_WORDS = (
+    "report", "overview", "summary", "record", "entry", "series", "index",
+    "figure", "listing", "note", "status", "detail", "reference", "update",
+)
+
+
+class CorpusSynthesizer:
+    """Deterministic benchmark generator.
+
+    Parameters
+    ----------
+    name:
+        Corpus name ("wikitables", "edp", ...).
+    n_tables:
+        Total relations to generate (the LD scale).
+    n_queries:
+        Query count (the paper uses 60: 30 QS-1 + 30 QS-2).
+    pairs_target:
+        Total judged (query, table) pairs (the paper: 3,117).
+    n_value_columns:
+        Numeric measure columns per table; the main numeric-fraction
+        control knob.
+    filler_probability:
+        Chance a table gets an extra free-text filler column — the
+        generic content that dilutes ExS's all-attribute averaging.
+    rows_range:
+        Inclusive (min, max) rows per table.
+    metadata_fields:
+        Extra per-table metadata fields to synthesize (e.g. EDP-style
+        ``publisher``/``license``).
+    caption_noise:
+        Fraction of tables whose caption is uninformative filler.
+    seed:
+        Master seed; every artifact is a pure function of it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_tables: int = 600,
+        n_queries: int = 60,
+        pairs_target: int = 3117,
+        n_value_columns: int = 1,
+        filler_probability: float = 0.5,
+        rows_range: tuple[int, int] = (4, 9),
+        metadata_fields: tuple[str, ...] = (),
+        date_style: str = "year",
+        extra_numeric_probability: float = 0.0,
+        caption_noise: float = 0.25,
+        lexicon: ConceptLexicon | None = None,
+        seed: int = 0,
+    ) -> None:
+        if date_style not in ("year", "date"):
+            raise DataGenerationError("date_style must be 'year' or 'date'")
+        if n_tables < len(TOPICS):
+            raise DataGenerationError(
+                f"n_tables must be >= {len(TOPICS)} so every topic appears"
+            )
+        if n_queries < 6:
+            raise DataGenerationError("n_queries must be >= 6 (two per category)")
+        self.name = name
+        self.n_tables = n_tables
+        self.n_queries = n_queries
+        self.pairs_target = pairs_target
+        self.n_value_columns = n_value_columns
+        self.filler_probability = filler_probability
+        self.rows_range = rows_range
+        self.metadata_fields = metadata_fields
+        self.date_style = date_style
+        self.extra_numeric_probability = extra_numeric_probability
+        if not 0.0 <= caption_noise <= 1.0:
+            raise DataGenerationError("caption_noise must be in [0, 1]")
+        self.caption_noise = caption_noise
+        self.lexicon = lexicon if lexicon is not None else default_lexicon()
+        self.seed = seed
+        self._tokenizer = Tokenizer()
+
+    # -- helpers ---------------------------------------------------------
+
+    def _terms(self, concept: str, role: str = "any") -> list[str]:
+        """Surface forms of a concept, restricted by role.
+
+        Region concepts pool their descendant (country) terms, since a
+        table about Europe lists European countries in its cells.
+        Concepts with at least four surface forms are split: tables
+        render the first half, queries the second half.  This is the
+        paper's Figure 1 situation made systematic — a relevant
+        query-table pair activates the same concept through
+        *different* words, so lexical overlap is an unreliable
+        relevance signal while semantic matching still works.
+        """
+        terms = sorted(self.lexicon.descendant_terms(concept))
+        if not terms:
+            raise DataGenerationError(f"lexicon has no terms for concept {concept!r}")
+        if role == "any" or len(terms) < 4:
+            return terms
+        half = len(terms) // 2
+        return terms[:half] if role == "table" else terms[half:]
+
+    def _sample_term(
+        self, concept: str, rng: np.random.Generator, role: str = "any"
+    ) -> str:
+        terms = self._terms(concept, role)
+        return terms[int(rng.integers(len(terms)))]
+
+    @staticmethod
+    def _code(rng: np.random.Generator) -> str:
+        letters = "".join(
+            string.ascii_uppercase[int(i)] for i in rng.integers(0, 26, size=2)
+        )
+        return f"{letters}{int(rng.integers(100, 999))}"
+
+    # -- tables ------------------------------------------------------------
+
+    def _make_table(self, index: int, topic: Topic, region: str, year: int) -> Relation:
+        rng = np.random.default_rng((self.seed, 1, index))
+        n_rows = int(rng.integers(self.rows_range[0], self.rows_range[1] + 1))
+
+        entity_col = _ENTITY_COLUMN_NAMES[int(rng.integers(len(_ENTITY_COLUMN_NAMES)))]
+        category_col = _CATEGORY_COLUMN_NAMES[int(rng.integers(len(_CATEGORY_COLUMN_NAMES)))]
+        value_cols = list(topic.value_columns[: self.n_value_columns])
+        while len(value_cols) < self.n_value_columns:
+            value_cols.append(f"Value{len(value_cols)}")
+        if self.extra_numeric_probability and rng.random() < self.extra_numeric_probability:
+            value_cols.append("Total")
+        has_filler = bool(rng.random() < self.filler_probability)
+
+        time_col = "Year" if self.date_style == "year" else "Date"
+        schema = [entity_col, category_col, "Detail", time_col, *value_cols]
+        if has_filler:
+            schema.append("Code")
+
+        rows = []
+        region_terms = self._terms(region, role="table")
+        for _ in range(n_rows):
+            entity = region_terms[int(rng.integers(len(region_terms)))]
+            concept = topic.concepts[int(rng.integers(len(topic.concepts)))]
+            category = self._sample_term(concept, rng, role="table")
+            detail_concept = topic.concepts[int(rng.integers(len(topic.concepts)))]
+            detail = self._sample_term(detail_concept, rng, role="table")
+            if self.date_style == "year":
+                time_value = str(year)
+            else:
+                time_value = (
+                    f"{year}-{int(rng.integers(1, 13)):02d}-{int(rng.integers(1, 29)):02d}"
+                )
+            row = [entity, category, detail, time_value]
+            row.extend(str(int(rng.integers(10, 100000))) for _ in value_cols)
+            if has_filler:
+                row.append(self._code(rng))
+            rows.append(row)
+
+        # Tables caption with the FIRST noun variant only; queries use
+        # the remaining variants, so captions are never quoted verbatim
+        # (MQ/LQ queries otherwise hand lexical baselines the answer).
+        # Captions also UNDERSPECIFY the facets — real captions rarely
+        # state both region and period — so table-level rankers cannot
+        # recover what the cell values carry (the paper's argument for
+        # value-level matching).  A fraction of captions is entirely
+        # uninformative ("status report 0423"), as is common for web
+        # tables, which only content-level matching can survive.
+        if rng.random() < self.caption_noise:
+            caption = (
+                f"{_FILLER_WORDS[int(rng.integers(len(_FILLER_WORDS)))]} "
+                f"{self._code(rng).lower()}"
+            )
+        else:
+            noun = topic.caption_nouns[0]
+            caption_parts = [noun]
+            if rng.random() < 0.5:
+                caption_parts.append(region_terms[int(rng.integers(len(region_terms)))])
+            if rng.random() < 0.35:
+                caption_parts.append(str(year))
+            caption_parts.append(_FILLER_WORDS[int(rng.integers(len(_FILLER_WORDS)))])
+            caption = " ".join(caption_parts)
+
+        metadata = {}
+        for field_name in self.metadata_fields:
+            metadata[field_name] = f"{field_name} {self._code(rng).lower()}"
+
+        return Relation(
+            name=f"table_{index:05d}",
+            schema=schema,
+            rows=rows,
+            caption=caption,
+            metadata=metadata,
+        )
+
+    def _assign_facets(self) -> list[tuple[Topic, str, int]]:
+        """Latent (topic, region, year) per table, topics round-robin."""
+        rng = np.random.default_rng((self.seed, 2))
+        facets = []
+        for index in range(self.n_tables):
+            topic = TOPICS[index % len(TOPICS)]
+            region = REGION_CONCEPTS[int(rng.integers(len(REGION_CONCEPTS)))]
+            year = int(YEARS[int(rng.integers(len(YEARS)))])
+            facets.append((topic, region, year))
+        return facets
+
+    # -- queries -------------------------------------------------------------
+
+    def _query_text(
+        self,
+        category: QueryCategory,
+        source: QuerySource,
+        topic: Topic,
+        region: str | None,
+        year: int | None,
+        rng: np.random.Generator,
+    ) -> str:
+        concept = topic.concepts[int(rng.integers(len(topic.concepts)))]
+        term = self._sample_term(concept, rng, role="query")
+        # Queries phrase the topic with the noun variants tables do NOT
+        # use in captions (tables always caption with variant 0).
+        query_nouns = topic.caption_nouns[1:] or topic.caption_nouns
+        noun = query_nouns[int(rng.integers(len(query_nouns)))]
+        region_term = self._sample_term(region, rng, role="query") if region else ""
+
+        if category is QueryCategory.SHORT:
+            # Every pinned facet appears in the text, so the grade-2 /
+            # grade-1 distinction is decidable from the query alone.
+            # QS-1 short queries are crisp topical noun phrases
+            # ("Beijing Olympics", "Phases of the Moon"); QS-2 are
+            # attribute-style ("Irish counties area").
+            if source is QuerySource.QS1:
+                words = [noun]
+            else:
+                words = [term, topic.value_columns[0].lower()]
+            if region_term:
+                words.append(region_term)
+            if year:
+                words.append(str(year))
+            return " ".join(w for w in words if w)[:200]
+
+        if category is QueryCategory.MODERATE:
+            # Sentence-length queries carry some verbosity the topic
+            # terms must be recovered from.
+            parts = [f"we are looking for any tables or datasets about {noun}"]
+            if region_term:
+                parts.append(f"in {region_term}")
+            if year:
+                parts.append(f"during {year}")
+            concept = topic.concepts[int(rng.integers(len(topic.concepts)))]
+            parts.append(f"covering {self._sample_term(concept, rng, role='query')}")
+            if source is QuerySource.QS2:
+                parts.append("with supporting numeric figures")
+            parts.append("that are reasonably complete and recent")
+            return " ".join(parts)
+
+        # LONG: a verbose 30..300-keyword paragraph.  Real full-text
+        # queries bury the topical terms in narrative context and stray
+        # mentions of OTHER subjects, which dilutes the query embedding
+        # — that dilution is why the paper finds long queries hardest.
+        all_terms: list[str] = []
+        for c in topic.concepts:
+            all_terms.extend(self._terms(c, role="query"))
+        rng.shuffle(all_terms)
+        take = min(len(all_terms), int(rng.integers(2, 5)))
+        sentences = [
+            f"our analysis project requires a comprehensive review of {noun}",
+            "we would appreciate tables mentioning " + " or ".join(all_terms[:take]),
+        ]
+        if region:
+            members = sorted(self._terms(region, role="query"))
+            pick = members[: min(4, len(members))]
+            sentences.append("the geographic scope of interest is " + " ".join(pick))
+        if year:
+            sentences.append(f"restricted to the period around {year}")
+        sentences.append(
+            "the tables should ideally report the relevant quantitative "
+            "measures with complete records and documented sources"
+        )
+        # Narrative noise: stray mentions of other subjects, regions
+        # and periods, as verbose human requests contain — the exact
+        # confounders (wrong topic / wrong region / wrong year) of the
+        # paper's Sec 5.3 case study.
+        distractor_topics = [t for t in TOPICS if t.name != topic.name]
+        n_distractors = int(rng.integers(4, 9))
+        stray: list[str] = []
+        for _ in range(n_distractors):
+            other = distractor_topics[int(rng.integers(len(distractor_topics)))]
+            other_concept = other.concepts[int(rng.integers(len(other.concepts)))]
+            stray.append(self._sample_term(other_concept, rng, role="query"))
+        stray_region = REGION_CONCEPTS[int(rng.integers(len(REGION_CONCEPTS)))]
+        stray.append(self._sample_term(stray_region, rng, role="query"))
+        stray_year = int(YEARS[int(rng.integers(len(YEARS)))])
+        sentences.append(
+            "unlike our previous studies which dealt with "
+            + " and ".join(dict.fromkeys(stray))
+            + f" back in {stray_year}"
+            + " this request is strictly about the subject above"
+        )
+        sentences.append(
+            "formats such as csv or excel are acceptable and metadata about "
+            "collection methodology licensing and update frequency would help"
+        )
+        text = " ".join(sentences)
+        # Enforce the LQ floor of >30 keywords by appending topical terms.
+        while len(text.split()) <= 30:
+            text += " " + " ".join(all_terms[:10])
+        return " ".join(text.split()[:300])
+
+    def _make_queries(self) -> list[QuerySpec]:
+        rng = np.random.default_rng((self.seed, 3))
+        per_category = self.n_queries // 3
+        categories = (
+            [QueryCategory.SHORT] * per_category
+            + [QueryCategory.MODERATE] * per_category
+            + [QueryCategory.LONG] * (self.n_queries - 2 * per_category)
+        )
+        specs: list[QuerySpec] = []
+        seen_texts: set[str] = set()
+        for i, category in enumerate(categories):
+            source = QuerySource.QS1 if i % 2 == 0 else QuerySource.QS2
+            topic = TOPICS[i % len(TOPICS)]
+            # Most queries pin a region and about half pin a year, so
+            # the grade-2 / grade-1 distinction (facet match) is
+            # exercised by nearly every query.
+            region = (
+                REGION_CONCEPTS[int(rng.integers(len(REGION_CONCEPTS)))]
+                if rng.random() < 0.85
+                else None
+            )
+            year = int(YEARS[int(rng.integers(len(YEARS)))]) if rng.random() < 0.3 else None
+            text = self._query_text(category, source, topic, region, year, rng)
+            # Guarantee query-text uniqueness (qrels are keyed by text).
+            attempt = 0
+            while text in seen_texts:
+                attempt += 1
+                text = self._query_text(category, source, topic, region, year, rng)
+                if attempt > 20:
+                    text = f"{text} {i}"
+            seen_texts.add(text)
+            specs.append(
+                QuerySpec(
+                    text=text,
+                    category=category,
+                    source=source,
+                    topic=topic.name,
+                    region=region,
+                    year=year,
+                )
+            )
+        return specs
+
+    # -- qrels -------------------------------------------------------------------
+
+    @staticmethod
+    def grade(
+        query: QuerySpec, table_topic: str, table_region: str, table_year: int
+    ) -> int:
+        """The latent relevance rule shared by all generated corpora.
+
+        Fully relevant (2): same topic and every facet the query pins
+        (region, year) matches.  Partially relevant (1): same topic but
+        a facet mismatch — the table is about the right subject but the
+        wrong region or period, the exact confounder structure of the
+        paper's Sec 5.3 case study ("Climate Change Effects Europe
+        2020" vs global or differently-dated climate tables).  Tables
+        of *related* topics are judged irrelevant but are deliberately
+        over-sampled into the judgment pool as hard negatives.
+        """
+        if query.topic == table_topic:
+            region_ok = query.region is None or query.region == table_region
+            year_ok = query.year is None or query.year == table_year
+            return 2 if (region_ok and year_ok) else 1
+        return 0
+
+    def _make_qrels(
+        self,
+        queries: list[QuerySpec],
+        facets: dict[str, tuple[str, str, int]],
+    ) -> Qrels:
+        rng = np.random.default_rng((self.seed, 4))
+        relation_ids = sorted(facets)
+        per_query = max(4, math.ceil(self.pairs_target / len(queries)))
+        qrels = Qrels()
+        total = 0
+        from repro.data.topics import topic_by_name
+
+        for query in queries:
+            judged: list[str] = []
+            related = set(topic_by_name(query.topic).related)
+            # All same-topic tables (graded 1/2) and related-topic
+            # tables (hard negatives, graded 0)...
+            for relation_id in relation_ids:
+                topic, _, _ = facets[relation_id]
+                if topic == query.topic or topic in related:
+                    judged.append(relation_id)
+            # ... plus random irrelevant tables to fill the budget.
+            remaining = [rid for rid in relation_ids if rid not in set(judged)]
+            need = max(0, per_query - len(judged))
+            if need and remaining:
+                extra = rng.choice(len(remaining), size=min(need, len(remaining)), replace=False)
+                judged.extend(remaining[int(i)] for i in extra)
+            for relation_id in judged[:per_query]:
+                if total >= self.pairs_target:
+                    break
+                topic, region, year = facets[relation_id]
+                qrels.add(query.text, relation_id, self.grade(query, topic, region, year))
+                total += 1
+        return qrels
+
+    # -- assembly ---------------------------------------------------------------------
+
+    def build(self) -> Corpus:
+        """Generate the full corpus deterministically."""
+        facet_triples = self._assign_facets()
+        relations = [
+            self._make_table(i, topic, region, year)
+            for i, (topic, region, year) in enumerate(facet_triples)
+        ]
+        facets = {
+            f"{self.name}/{relation.name}": (topic.name, region, year)
+            for relation, (topic, region, year) in zip(relations, facet_triples)
+        }
+        queries = self._make_queries()
+        qrels = self._make_qrels(queries, facets)
+        numeric_fraction = self._numeric_fraction(relations)
+        return Corpus(
+            name=self.name,
+            relations=relations,
+            table_facets=facets,
+            queries=queries,
+            qrels=qrels,
+            numeric_cell_fraction=numeric_fraction,
+        )
+
+    def _numeric_fraction(self, relations: list[Relation]) -> float:
+        numeric = 0
+        total = 0
+        for relation in relations:
+            for value in relation.values():
+                total += 1
+                tokens = self._tokenizer.tokenize(value)
+                if tokens and all(is_numeric_token(t) for t in tokens):
+                    numeric += 1
+        return numeric / total if total else 0.0

@@ -1,0 +1,171 @@
+"""Latent topics grounding the synthetic corpora.
+
+Each topic names the lexicon concepts that supply its content terms,
+the entity concepts usable as facet values (regions), and caption
+phrasing.  Tables, queries and relevance grades are all derived from
+these topics, which is what makes the generated relevance judgments
+principled rather than arbitrary: a query and a table are related
+exactly when they were generated from related topics/facets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Topic", "TOPICS", "REGION_CONCEPTS", "YEARS"]
+
+#: Facet dimension 1: the geographic entity concepts in the lexicon.
+REGION_CONCEPTS = ("europe", "north_america", "asia", "africa")
+
+#: Facet dimension 2: the year range tables/queries may be about.
+YEARS = tuple(range(2015, 2024))
+
+
+@dataclass(frozen=True)
+class Topic:
+    """One latent topic.
+
+    Attributes
+    ----------
+    name:
+        Topic identifier.
+    concepts:
+        Lexicon concepts whose member terms fill the topic's content
+        cells and query keywords.
+    caption_nouns:
+        Noun phrases used in captions and queries (kept distinct from
+        concept surface forms so caption and body vocabulary differ).
+    value_columns:
+        Names of the numeric measure columns this topic's tables use.
+    related:
+        Topics considered *partially* relevant (grade 1) to this one.
+    """
+
+    name: str
+    concepts: tuple[str, ...]
+    caption_nouns: tuple[str, ...]
+    value_columns: tuple[str, ...]
+    related: tuple[str, ...] = ()
+
+
+TOPICS: tuple[Topic, ...] = (
+    Topic(
+        name="covid_vaccination",
+        concepts=("covid_vaccine", "vaccine", "immunogen"),
+        caption_nouns=("vaccination campaign", "immunization rollout", "vaccine doses"),
+        value_columns=("Doses", "Coverage"),
+        related=("disease_surveillance",),
+    ),
+    Topic(
+        name="disease_surveillance",
+        concepts=("disease", "symptom", "hospital"),
+        caption_nouns=("disease surveillance", "hospital admissions", "infection cases"),
+        value_columns=("Cases", "Admissions"),
+        related=("covid_vaccination",),
+    ),
+    Topic(
+        name="football_leagues",
+        concepts=("football",),
+        caption_nouns=("football league results", "soccer standings", "league table"),
+        value_columns=("Goals", "Points"),
+        related=("olympic_games",),
+    ),
+    Topic(
+        name="olympic_games",
+        concepts=("olympics",),
+        caption_nouns=("olympic medal count", "games results", "medal standings"),
+        value_columns=("Gold", "Medals"),
+        related=("football_leagues",),
+    ),
+    Topic(
+        name="climate_indicators",
+        concepts=("climate_change", "weather"),
+        caption_nouns=("climate indicators", "warming trends", "temperature anomalies"),
+        value_columns=("Temperature", "Emissions"),
+        related=("energy_mix",),
+    ),
+    Topic(
+        name="energy_mix",
+        concepts=("energy",),
+        caption_nouns=("energy production", "electricity mix", "power generation"),
+        value_columns=("Output", "Share"),
+        related=("climate_indicators",),
+    ),
+    Topic(
+        name="gdp_growth",
+        concepts=("economy", "finance"),
+        caption_nouns=("economic output", "gdp figures", "growth statistics"),
+        value_columns=("GDP", "Growth"),
+        related=("trade_flows", "labour_market"),
+    ),
+    Topic(
+        name="trade_flows",
+        concepts=("trade",),
+        caption_nouns=("trade balance", "export statistics", "import volumes"),
+        value_columns=("Exports", "Imports"),
+        related=("gdp_growth",),
+    ),
+    Topic(
+        name="labour_market",
+        concepts=("employment",),
+        caption_nouns=("employment statistics", "labour market", "jobless rates"),
+        value_columns=("Employed", "Rate"),
+        related=("gdp_growth",),
+    ),
+    Topic(
+        name="lunar_observation",
+        concepts=("moon", "astronomy"),
+        caption_nouns=("lunar phases", "moon observation", "night sky calendar"),
+        value_columns=("Illumination", "Magnitude"),
+    ),
+    Topic(
+        name="transport_traffic",
+        concepts=("transport",),
+        caption_nouns=("traffic volumes", "passenger transport", "transit ridership"),
+        value_columns=("Passengers", "Volume"),
+    ),
+    Topic(
+        name="crop_harvest",
+        concepts=("agriculture", "food"),
+        caption_nouns=("crop harvest", "agricultural yield", "farm production"),
+        value_columns=("Yield", "Hectares"),
+    ),
+    Topic(
+        name="tech_adoption",
+        concepts=("technology", "telecom"),
+        caption_nouns=("technology adoption", "broadband coverage", "internet usage"),
+        value_columns=("Users", "Penetration"),
+    ),
+    Topic(
+        name="elections_population",
+        concepts=("politics", "population"),
+        caption_nouns=("election turnout", "census figures", "population statistics"),
+        value_columns=("Turnout", "Population"),
+    ),
+    Topic(
+        name="school_enrollment",
+        concepts=("education",),
+        caption_nouns=("school enrollment", "education statistics", "student numbers"),
+        value_columns=("Students", "Enrollment"),
+    ),
+    Topic(
+        name="music_charts",
+        concepts=("music", "film"),
+        caption_nouns=("music charts", "album sales", "box office"),
+        value_columns=("Sales", "Weeks"),
+    ),
+    Topic(
+        name="historical_battles",
+        concepts=("history",),
+        caption_nouns=("historical battles", "military history", "war chronology"),
+        value_columns=("Casualties", "Duration"),
+    ),
+)
+
+
+def topic_by_name(name: str) -> Topic:
+    """Look up a topic (raises KeyError for unknown names)."""
+    for topic in TOPICS:
+        if topic.name == name:
+            return topic
+    raise KeyError(name)

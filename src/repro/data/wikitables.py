@@ -1,0 +1,42 @@
+"""The WikiTables-like corpus.
+
+The real benchmark (Zhang & Balog, 2018) has 1.6M Wikipedia tables
+with captions and 3,117 graded query-table pairs; 26.9% of cells are
+numeric.  This generator reproduces the benchmark's *shape* at
+laptop scale: captioned topic tables, the 3,117-pair judgment budget,
+the 60-query QS-1/QS-2 mix, and the numeric-cell ratio (via one
+numeric measure column plus the year column against three-ish text
+columns).
+"""
+
+from __future__ import annotations
+
+from repro.data.corpus import Corpus
+from repro.data.synthesis import CorpusSynthesizer
+
+__all__ = ["generate_wikitables_corpus"]
+
+
+def generate_wikitables_corpus(
+    n_tables: int = 600,
+    n_queries: int = 60,
+    pairs_target: int = 3117,
+    seed: int = 0,
+) -> Corpus:
+    """Generate the WikiTables-like benchmark corpus.
+
+    Defaults follow the paper's experimental protocol scaled down:
+    60 queries, 3,117 judged pairs, ~27% numeric cells.
+    """
+    return CorpusSynthesizer(
+        name="wikitables",
+        n_tables=n_tables,
+        n_queries=n_queries,
+        pairs_target=pairs_target,
+        n_value_columns=1,
+        filler_probability=0.5,
+        rows_range=(4, 9),
+        date_style="date",
+        extra_numeric_probability=0.55,
+        seed=seed,
+    ).build()

@@ -1,0 +1,27 @@
+"""The relational data model from the paper's problem statement (Sec 3).
+
+Names and values form attributes; tuples are sequences of attributes
+sharing a schema; a relation is a set of tuples; a dataset is a set of
+relations; a federation is a set of datasets.  The paper treats
+*dataset* and *relation* interchangeably (single-relation datasets),
+which :class:`~repro.datamodel.relation.Federation` supports directly.
+"""
+
+from repro.datamodel.loaders import relation_from_csv, relation_from_json
+from repro.datamodel.relation import (
+    Attribute,
+    Dataset,
+    Federation,
+    Relation,
+    Row,
+)
+
+__all__ = [
+    "Attribute",
+    "Dataset",
+    "Federation",
+    "Relation",
+    "Row",
+    "relation_from_csv",
+    "relation_from_json",
+]

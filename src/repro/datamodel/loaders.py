@@ -1,0 +1,65 @@
+"""Load relations from CSV and JSON files."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.datamodel.relation import Relation
+from repro.errors import DataGenerationError
+
+__all__ = ["relation_from_csv", "relation_from_json"]
+
+
+def relation_from_csv(
+    path: str | Path,
+    name: str | None = None,
+    caption: str = "",
+    delimiter: str = ",",
+) -> Relation:
+    """Read a CSV file (first row = header) into a Relation.
+
+    ``name`` defaults to the file stem.  Short rows are padded with
+    empty strings; long rows are an error.
+    """
+    path = Path(path)
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataGenerationError(f"{path} is empty") from None
+        relation = Relation(name or path.stem, header, caption=caption)
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) > len(header):
+                raise DataGenerationError(
+                    f"{path}:{line_no}: {len(row)} cells for {len(header)} columns"
+                )
+            if len(row) < len(header):
+                row = row + [""] * (len(header) - len(row))
+            relation.add_row(row)
+    return relation
+
+
+def relation_from_json(path: str | Path) -> Relation:
+    """Read a relation from JSON.
+
+    Expected shape::
+
+        {"name": ..., "schema": [...], "rows": [[...], ...],
+         "caption": ..., "metadata": {...}}
+    """
+    path = Path(path)
+    with open(path) as fh:
+        doc = json.load(fh)
+    for key in ("name", "schema", "rows"):
+        if key not in doc:
+            raise DataGenerationError(f"{path}: missing key {key!r}")
+    return Relation(
+        doc["name"],
+        doc["schema"],
+        doc["rows"],
+        caption=doc.get("caption", ""),
+        metadata=doc.get("metadata"),
+    )

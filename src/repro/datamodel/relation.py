@@ -1,0 +1,256 @@
+"""Attributes, rows, relations, datasets and federations.
+
+Follows the paper's formal model (Sec 3): an attribute is a
+(name, value) pair; a tuple (here :class:`Row`, to avoid clashing with
+Python's ``tuple``) is a sequence of attributes; a relation is a finite
+set of same-schema tuples; a dataset is a set of relations; a
+federation is a finite set of datasets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import NamedTuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Attribute", "Row", "Relation", "Dataset", "Federation"]
+
+
+class Attribute(NamedTuple):
+    """A (name, value) pair; values are stored as strings.
+
+    The paper defines values as alphanumeric; numeric cells keep their
+    textual form so the encoder can treat numbers in context.
+    """
+
+    name: str
+    value: str
+
+
+class Row:
+    """One tuple of a relation: attribute values aligned with a schema."""
+
+    __slots__ = ("schema", "values")
+
+    def __init__(self, schema: Sequence[str], values: Sequence[str]):
+        if len(schema) != len(values):
+            raise ConfigurationError(
+                f"row has {len(values)} values for schema of {len(schema)}"
+            )
+        self.schema = tuple(schema)
+        self.values = tuple(str(v) for v in values)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of attributes in the tuple."""
+        return len(self.values)
+
+    def attributes(self) -> Iterator[Attribute]:
+        """Iterate (name, value) attribute pairs."""
+        for name, value in zip(self.schema, self.values):
+            yield Attribute(name, value)
+
+    def __getitem__(self, name: str) -> str:
+        try:
+            return self.values[self.schema.index(name)]
+        except ValueError:
+            raise KeyError(name) from None
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self.schema == other.schema and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self.values))
+
+    def __repr__(self) -> str:
+        cells = ", ".join(f"{n}={v!r}" for n, v in self.attributes())
+        return f"Row({cells})"
+
+
+class Relation:
+    """A named relation: a schema and its rows, plus optional context.
+
+    ``caption`` and ``metadata`` carry the contextual elements
+    (page/section titles, captions, descriptions) that both corpora in
+    the paper's evaluation provide; baseline methods use these as
+    separate ranking fields.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Sequence[str],
+        rows: Sequence[Sequence[str]] = (),
+        caption: str = "",
+        metadata: dict[str, str] | None = None,
+    ) -> None:
+        if not name:
+            raise ConfigurationError("relation name must be non-empty")
+        if len(set(schema)) != len(schema):
+            raise ConfigurationError(f"duplicate attribute names in schema {schema}")
+        self.name = name
+        self.schema = tuple(schema)
+        self.caption = caption
+        self.metadata = dict(metadata or {})
+        self._rows: list[Row] = []
+        for values in rows:
+            self.add_row(values)
+
+    # -- mutation -----------------------------------------------------
+
+    def add_row(self, values: Sequence[str]) -> None:
+        """Append a tuple; it must match the relation schema."""
+        self._rows.append(Row(self.schema, values))
+
+    # -- access -------------------------------------------------------
+
+    @property
+    def rows(self) -> list[Row]:
+        return list(self._rows)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.schema)
+
+    @property
+    def num_cells(self) -> int:
+        """Total attribute values (the unit the methods embed)."""
+        return len(self._rows) * len(self.schema)
+
+    def column(self, name: str) -> list[str]:
+        """All values of one attribute."""
+        try:
+            idx = self.schema.index(name)
+        except ValueError:
+            raise KeyError(name) from None
+        return [row.values[idx] for row in self._rows]
+
+    def attributes(self) -> Iterator[Attribute]:
+        """Every (name, value) pair of every tuple, row-major."""
+        for row in self._rows:
+            yield from row.attributes()
+
+    def values(self) -> list[str]:
+        """Every cell value, row-major — what gets embedded."""
+        return [value for row in self._rows for value in row.values]
+
+    def text_fields(self) -> dict[str, str]:
+        """Context fields for multi-field baselines (MDR/WS/TCS)."""
+        fields = {"caption": self.caption, "schema": " ".join(self.schema)}
+        fields.update(self.metadata)
+        return fields
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({self.name!r}, {self.num_rows}x{self.num_columns}, "
+            f"caption={self.caption!r})"
+        )
+
+
+class Dataset:
+    """A named set of relations."""
+
+    def __init__(self, name: str, relations: Sequence[Relation] = ()):
+        if not name:
+            raise ConfigurationError("dataset name must be non-empty")
+        self.name = name
+        self._relations: dict[str, Relation] = {}
+        for relation in relations:
+            self.add_relation(relation)
+
+    def add_relation(self, relation: Relation) -> None:
+        if relation.name in self._relations:
+            raise ConfigurationError(
+                f"dataset {self.name!r} already has relation {relation.name!r}"
+            )
+        self._relations[relation.name] = relation
+
+    @property
+    def relations(self) -> list[Relation]:
+        return list(self._relations.values())
+
+    def relation(self, name: str) -> Relation:
+        return self._relations[name]
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+
+class Federation:
+    """A finite set of datasets; the search space of dataset discovery.
+
+    Relations are addressed by qualified id ``"dataset/relation"``.
+    :meth:`from_relations` wraps plain relations as single-relation
+    datasets, matching the paper's convention of using *dataset* and
+    *relation* interchangeably.
+    """
+
+    def __init__(self, name: str = "federation", datasets: Sequence[Dataset] = ()):
+        self.name = name
+        self._datasets: dict[str, Dataset] = {}
+        for dataset in datasets:
+            self.add_dataset(dataset)
+
+    @classmethod
+    def from_relations(
+        cls, relations: Sequence[Relation], name: str = "federation"
+    ) -> "Federation":
+        """Build a federation of single-relation datasets."""
+        federation = cls(name)
+        for relation in relations:
+            federation.add_dataset(Dataset(relation.name, [relation]))
+        return federation
+
+    def add_dataset(self, dataset: Dataset) -> None:
+        if dataset.name in self._datasets:
+            raise ConfigurationError(
+                f"federation already has dataset {dataset.name!r}"
+            )
+        self._datasets[dataset.name] = dataset
+
+    @property
+    def datasets(self) -> list[Dataset]:
+        return list(self._datasets.values())
+
+    def dataset(self, name: str) -> Dataset:
+        return self._datasets[name]
+
+    def relations(self) -> Iterator[tuple[str, Relation]]:
+        """Iterate (qualified_id, relation) over the whole federation."""
+        for dataset in self._datasets.values():
+            for relation in dataset:
+                yield f"{dataset.name}/{relation.name}", relation
+
+    def relation(self, qualified_id: str) -> Relation:
+        """Look up a relation by its ``dataset/relation`` id."""
+        dataset_name, _, relation_name = qualified_id.partition("/")
+        return self._datasets[dataset_name].relation(relation_name)
+
+    @property
+    def num_relations(self) -> int:
+        return sum(len(d) for d in self._datasets.values())
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def __iter__(self) -> Iterator[Dataset]:
+        return iter(self._datasets.values())

@@ -1,0 +1,14 @@
+"""Dimensionality-reduction substrate: PCA and a from-scratch UMAP.
+
+The CTS method (paper Sec 4.3) reduces value embeddings with UMAP
+before clustering them with HDBSCAN; the paper also notes that the
+k-nearest-neighbour computation UMAP needs was *precomputed* to speed
+it up, which :class:`repro.dimred.knn_graph.KNNGraph` supports
+explicitly.
+"""
+
+from repro.dimred.knn_graph import KNNGraph, build_knn_graph
+from repro.dimred.pca import PCA
+from repro.dimred.umap_ import UMAP
+
+__all__ = ["KNNGraph", "PCA", "UMAP", "build_knn_graph"]

@@ -1,0 +1,127 @@
+"""k-nearest-neighbour graph construction.
+
+UMAP and HDBSCAN both start from per-point nearest neighbours.  The
+paper notes (Sec 5, Model Specifications) that UMAP's KNN step was
+precomputed to optimize runtime; :class:`KNNGraph` is that precomputed
+artifact — build it once, feed it to both consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ann.hnsw import HNSWIndex
+from repro.errors import ConfigurationError
+from repro.linalg.distances import Metric, euclidean_distance
+
+__all__ = ["KNNGraph", "build_knn_graph"]
+
+
+@dataclass(frozen=True)
+class KNNGraph:
+    """Exact or approximate kNN lists: indices and distances per point.
+
+    ``indices[i]`` and ``distances[i]`` describe point ``i``'s ``k``
+    nearest *other* points, nearest first.
+    """
+
+    indices: np.ndarray  # (n, k) intp
+    distances: np.ndarray  # (n, k) float64
+
+    @property
+    def n_points(self) -> int:
+        return self.indices.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.indices.shape[1]
+
+    def validate(self) -> None:
+        """Check internal consistency (shapes and sorted distances)."""
+        if self.indices.shape != self.distances.shape:
+            raise ConfigurationError("indices and distances shapes differ")
+        if np.any(np.diff(self.distances, axis=1) < -1e-9):
+            raise ConfigurationError("distances rows must be sorted ascending")
+
+
+def build_knn_graph(
+    points: np.ndarray,
+    k: int,
+    approximate: bool = False,
+    metric: Metric = Metric.EUCLIDEAN,
+    seed: int = 0,
+) -> KNNGraph:
+    """Build a kNN graph over ``points``.
+
+    Parameters
+    ----------
+    points:
+        ``(n, dim)`` data.
+    k:
+        Neighbours per point (excluding the point itself); clamped to
+        ``n - 1``.
+    approximate:
+        Use an HNSW index instead of the exact blocked scan — the
+        standard trade for corpora too large to scan quadratically.
+    metric:
+        Distance metric (euclidean by default, matching UMAP/HDBSCAN).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ConfigurationError("points must be 2-D")
+    n = points.shape[0]
+    if n < 2:
+        raise ConfigurationError("need at least 2 points for a kNN graph")
+    k = min(k, n - 1)
+
+    if approximate:
+        return _approximate_graph(points, k, metric, seed)
+    return _exact_graph(points, k, metric)
+
+
+def _exact_graph(points: np.ndarray, k: int, metric: Metric) -> KNNGraph:
+    n = points.shape[0]
+    indices = np.empty((n, k), dtype=np.intp)
+    distances = np.empty((n, k), dtype=np.float64)
+    block = max(1, min(n, 4_000_000 // max(n, 1)))
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        if metric is Metric.EUCLIDEAN:
+            d = euclidean_distance(points[start:stop], points)
+        else:
+            from repro.linalg.distances import pairwise_distance
+
+            d = pairwise_distance(points[start:stop], points, metric)
+        rows = np.arange(start, stop)
+        d[np.arange(stop - start), rows] = np.inf  # exclude self
+        part = np.argpartition(d, k - 1, axis=1)[:, :k]
+        part_d = np.take_along_axis(d, part, axis=1)
+        order = np.argsort(part_d, axis=1)
+        indices[start:stop] = np.take_along_axis(part, order, axis=1)
+        distances[start:stop] = np.take_along_axis(part_d, order, axis=1)
+    return KNNGraph(indices=indices, distances=distances)
+
+
+def _approximate_graph(points: np.ndarray, k: int, metric: Metric, seed: int) -> KNNGraph:
+    n = points.shape[0]
+    index = HNSWIndex(metric=metric, m=8, ef_construction=64, ef_search=max(64, 2 * k), seed=seed)
+    index.build(points)
+    indices = np.empty((n, k), dtype=np.intp)
+    distances = np.empty((n, k), dtype=np.float64)
+    for i in range(n):
+        hits = [h for h in index.search(points[i], k + 1) if h.index != i][:k]
+        while len(hits) < k:  # HNSW may return fewer on tiny graphs
+            hits.append(hits[-1])
+        indices[i] = [h.index for h in hits]
+        # scores are similarities; convert back to distances
+        if metric is Metric.EUCLIDEAN:
+            distances[i] = [-h.score for h in hits]
+        else:
+            distances[i] = [1.0 - h.score for h in hits]
+    order = np.argsort(distances, axis=1)
+    return KNNGraph(
+        indices=np.take_along_axis(indices, order, axis=1),
+        distances=np.take_along_axis(distances, order, axis=1),
+    )

@@ -1,0 +1,81 @@
+"""Principal component analysis via (truncated) SVD."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse.linalg import svds
+
+from repro.errors import ConfigurationError, NotFittedError
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """PCA with centering; exact SVD for small inputs, Lanczos otherwise.
+
+    Parameters
+    ----------
+    n_components:
+        Target dimensionality.
+    seed:
+        Seed for the Lanczos start vector when the truncated solver is
+        used (keeps `transform` deterministic).
+
+    Attributes
+    ----------
+    components_:
+        ``(n_components, dim)`` principal axes after fit.
+    explained_variance_ratio_:
+        Fraction of total variance captured per component.
+    """
+
+    def __init__(self, n_components: int, seed: int = 0):
+        if n_components < 1:
+            raise ConfigurationError("n_components must be >= 1")
+        self.n_components = n_components
+        self.seed = seed
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, points: np.ndarray) -> "PCA":
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ConfigurationError("PCA expects a 2-D (n, dim) array")
+        n, dim = points.shape
+        k = min(self.n_components, dim, n)
+        self.mean_ = points.mean(axis=0)
+        centered = points - self.mean_
+        total_var = float(np.sum(centered**2))
+        # Lanczos needs k strictly below min(n, dim); fall back to full
+        # SVD whenever the requested rank is close to full.
+        if k < min(n, dim) - 1 and min(n, dim) > 10:
+            v0 = np.random.default_rng(self.seed).standard_normal(min(n, dim))
+            u, s, vt = svds(centered, k=k, v0=v0)
+            order = np.argsort(s)[::-1]
+            s, vt = s[order], vt[order]
+        else:
+            _, s, vt = np.linalg.svd(centered, full_matrices=False)
+            s, vt = s[:k], vt[:k]
+        self.components_ = vt
+        if total_var > 0:
+            self.explained_variance_ratio_ = (s**2) / total_var
+        else:
+            self.explained_variance_ratio_ = np.zeros_like(s)
+        return self
+
+    def transform(self, points: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise NotFittedError("PCA.transform called before fit")
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return (points - self.mean_) @ self.components_.T
+
+    def fit_transform(self, points: np.ndarray) -> np.ndarray:
+        return self.fit(points).transform(points)
+
+    def inverse_transform(self, reduced: np.ndarray) -> np.ndarray:
+        """Map reduced coordinates back to the original space."""
+        if self.components_ is None or self.mean_ is None:
+            raise NotFittedError("PCA.inverse_transform called before fit")
+        reduced = np.atleast_2d(np.asarray(reduced, dtype=np.float64))
+        return reduced @ self.components_ + self.mean_

@@ -1,0 +1,273 @@
+"""Uniform Manifold Approximation and Projection (McInnes et al., 2018).
+
+A from-scratch UMAP covering the full pipeline the reference
+implementation uses:
+
+1. kNN graph (accepts a precomputed :class:`~repro.dimred.knn_graph.KNNGraph`,
+   matching the paper's precomputed-KNN optimization);
+2. smooth-kNN distance calibration (per-point ``rho``/``sigma`` via
+   binary search so each point's effective neighbourhood has fixed
+   entropy);
+3. fuzzy simplicial set construction and probabilistic-t-conorm
+   symmetrization;
+4. spectral initialization from the normalized graph Laplacian;
+5. stochastic gradient optimization of the low-dimensional layout with
+   weighted edge sampling and negative sampling.
+
+The SGD step processes sampled edge batches vectorized in numpy rather
+than one edge at a time (the reference uses numba for that); the
+objective and update rule are the same.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import curve_fit
+from scipy.sparse.linalg import eigsh
+
+from repro.dimred.knn_graph import KNNGraph, build_knn_graph
+from repro.errors import ConfigurationError, NotFittedError
+from repro.linalg.distances import euclidean_distance
+
+__all__ = ["UMAP"]
+
+_SMOOTH_K_TOLERANCE = 1e-5
+_MIN_K_DIST_SCALE = 1e-3
+
+
+def _fit_curve_params(min_dist: float, spread: float = 1.0) -> tuple[float, float]:
+    """Fit the (a, b) low-dimensional similarity curve for ``min_dist``."""
+
+    def curve(x: np.ndarray, a: float, b: float) -> np.ndarray:
+        return 1.0 / (1.0 + a * x ** (2 * b))
+
+    xv = np.linspace(0, spread * 3, 300)
+    yv = np.where(xv < min_dist, 1.0, np.exp(-(xv - min_dist) / spread))
+    params, _ = curve_fit(curve, xv, yv, p0=(1.0, 1.0), maxfev=2000)
+    return float(params[0]), float(params[1])
+
+
+class UMAP:
+    """UMAP dimensionality reducer.
+
+    Parameters
+    ----------
+    n_components:
+        Output dimensionality.
+    n_neighbors:
+        kNN neighbourhood size controlling local/global balance.
+    min_dist:
+        Minimum separation of points in the embedding.
+    n_epochs:
+        SGD epochs (scaled-down default suited to corpus sizes here).
+    negative_sample_rate:
+        Negative samples drawn per positive edge sample.
+    learning_rate:
+        Initial SGD step size (decays linearly to zero).
+    precomputed_knn:
+        Optional :class:`KNNGraph` built elsewhere; skips the internal
+        kNN step, as the paper does.
+    seed:
+        Seed controlling sampling and initialization.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 16,
+        n_neighbors: int = 15,
+        min_dist: float = 0.1,
+        n_epochs: int = 150,
+        negative_sample_rate: int = 5,
+        learning_rate: float = 1.0,
+        precomputed_knn: KNNGraph | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_components < 1:
+            raise ConfigurationError("n_components must be >= 1")
+        if n_neighbors < 2:
+            raise ConfigurationError("n_neighbors must be >= 2")
+        if not 0.0 <= min_dist < 3.0:
+            raise ConfigurationError("min_dist must be in [0, 3)")
+        self.n_components = n_components
+        self.n_neighbors = n_neighbors
+        self.min_dist = min_dist
+        self.n_epochs = n_epochs
+        self.negative_sample_rate = negative_sample_rate
+        self.learning_rate = learning_rate
+        self.precomputed_knn = precomputed_knn
+        self.seed = seed
+        self._a, self._b = _fit_curve_params(min_dist)
+        self.embedding_: np.ndarray | None = None
+        self.graph_: sp.csr_matrix | None = None
+        self._train_points: np.ndarray | None = None
+
+    # -- fuzzy simplicial set -------------------------------------------
+
+    @staticmethod
+    def _smooth_knn_dist(
+        distances: np.ndarray, k: float, n_iter: int = 64
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-point (rho, sigma) calibration by binary search.
+
+        ``rho`` is the distance to the nearest neighbour (local
+        connectivity of 1); ``sigma`` is chosen so the sum of kernel
+        values equals ``log2(k)``.
+        """
+        n = distances.shape[0]
+        target = math.log2(k)
+        rho = np.zeros(n)
+        sigma = np.zeros(n)
+        mean_all = float(distances.mean()) if distances.size else 1.0
+        for i in range(n):
+            row = distances[i]
+            nonzero = row[row > 0.0]
+            rho[i] = nonzero[0] if nonzero.size else 0.0
+            lo, hi, mid = 0.0, np.inf, 1.0
+            for _ in range(n_iter):
+                psum = float(np.sum(np.exp(-np.maximum(row - rho[i], 0.0) / mid)))
+                if abs(psum - target) < _SMOOTH_K_TOLERANCE:
+                    break
+                if psum > target:
+                    hi = mid
+                    mid = (lo + hi) / 2.0
+                else:
+                    lo = mid
+                    mid = mid * 2.0 if hi == np.inf else (lo + hi) / 2.0
+            sigma[i] = mid
+            # Guard against degenerate tiny sigmas (all-identical rows).
+            mean_row = float(row.mean()) if row.size else mean_all
+            floor = _MIN_K_DIST_SCALE * (mean_row if rho[i] > 0.0 else mean_all)
+            sigma[i] = max(sigma[i], floor)
+        return rho, sigma
+
+    def _fuzzy_simplicial_set(self, knn: KNNGraph) -> sp.csr_matrix:
+        n, k = knn.indices.shape
+        rho, sigma = self._smooth_knn_dist(knn.distances, float(k))
+        vals = np.exp(
+            -np.maximum(knn.distances - rho[:, np.newaxis], 0.0) / sigma[:, np.newaxis]
+        )
+        rows = np.repeat(np.arange(n), k)
+        graph = sp.csr_matrix(
+            (vals.ravel(), (rows, knn.indices.ravel())), shape=(n, n)
+        )
+        transpose = graph.T.tocsr()
+        product = graph.multiply(transpose)
+        return (graph + transpose - product).tocsr()
+
+    # -- initialization ----------------------------------------------------
+
+    def _spectral_init(self, graph: sp.csr_matrix, rng: np.random.Generator) -> np.ndarray:
+        n = graph.shape[0]
+        k = self.n_components
+        if n <= k + 2:
+            return rng.standard_normal((n, k)) * 1e-2
+        degrees = np.asarray(graph.sum(axis=1)).ravel()
+        degrees = np.where(degrees > 0, degrees, 1.0)
+        d_inv_sqrt = sp.diags(1.0 / np.sqrt(degrees))
+        laplacian = sp.identity(n) - d_inv_sqrt @ graph @ d_inv_sqrt
+        try:
+            v0 = rng.standard_normal(n)
+            _, vectors = eigsh(laplacian, k=k + 1, sigma=0.0, which="LM", v0=v0)
+            init = vectors[:, 1 : k + 1]
+        except Exception:  # Lanczos can fail on disconnected graphs
+            return rng.standard_normal((n, k)) * 1e-2
+        scale = np.abs(init).max()
+        if scale > 0:
+            init = init / scale * 10.0
+        return init + rng.standard_normal(init.shape) * 1e-4
+
+    # -- optimization -------------------------------------------------------
+
+    def _optimize(
+        self,
+        graph: sp.csr_matrix,
+        init: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        coo = graph.tocoo()
+        mask = coo.data > 0
+        heads, tails, weights = coo.row[mask], coo.col[mask], coo.data[mask]
+        if heads.size == 0:
+            return init
+        prob = weights / weights.sum()
+        embedding = init.astype(np.float64).copy()
+        n = embedding.shape[0]
+        batch = heads.size
+        a, b = self._a, self._b
+        clip = 4.0
+        for epoch in range(self.n_epochs):
+            alpha = self.learning_rate * (1.0 - epoch / self.n_epochs)
+            sampled = rng.choice(heads.size, size=batch, p=prob)
+            hi, ti = heads[sampled], tails[sampled]
+            delta = embedding[hi] - embedding[ti]
+            d2 = np.sum(delta**2, axis=1)
+            # Attractive gradient of the cross-entropy w.r.t. distance.
+            grad_coeff = np.where(
+                d2 > 0.0,
+                (-2.0 * a * b * d2 ** (b - 1.0)) / (a * d2**b + 1.0),
+                0.0,
+            )
+            grad = np.clip(grad_coeff[:, np.newaxis] * delta, -clip, clip)
+            np.add.at(embedding, hi, alpha * grad)
+            np.add.at(embedding, ti, -alpha * grad)
+            # Repulsive updates via negative sampling.
+            for _ in range(self.negative_sample_rate):
+                neg = rng.integers(0, n, size=batch)
+                delta_n = embedding[hi] - embedding[neg]
+                d2n = np.sum(delta_n**2, axis=1)
+                coeff = (2.0 * b) / ((0.001 + d2n) * (a * d2n**b + 1.0))
+                coeff = np.where(neg == hi, 0.0, coeff)
+                grad_n = np.clip(coeff[:, np.newaxis] * delta_n, -clip, clip)
+                np.add.at(embedding, hi, alpha * grad_n)
+        return embedding
+
+    # -- public API -----------------------------------------------------------
+
+    def fit(self, points: np.ndarray) -> "UMAP":
+        """Learn an embedding of ``points``."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ConfigurationError("UMAP expects a 2-D (n, dim) array")
+        n = points.shape[0]
+        if n < 4:
+            raise ConfigurationError("UMAP needs at least 4 points")
+        rng = np.random.default_rng(self.seed)
+        knn = self.precomputed_knn
+        if knn is None or knn.n_points != n:
+            knn = build_knn_graph(points, min(self.n_neighbors, n - 1))
+        graph = self._fuzzy_simplicial_set(knn)
+        init = self._spectral_init(graph, rng)
+        self.embedding_ = self._optimize(graph, init, rng)
+        self.graph_ = graph
+        self._train_points = points
+        return self
+
+    def fit_transform(self, points: np.ndarray) -> np.ndarray:
+        """Fit and return the training embedding."""
+        self.fit(points)
+        assert self.embedding_ is not None
+        return self.embedding_
+
+    def transform(self, points: np.ndarray) -> np.ndarray:
+        """Embed out-of-sample points.
+
+        Each new point is placed at the membership-weighted average of
+        its nearest training points' embeddings — the standard
+        out-of-sample strategy, and what CTS uses to bring the query
+        into the reduced space where medoids live.
+        """
+        if self.embedding_ is None or self._train_points is None:
+            raise NotFittedError("UMAP.transform called before fit")
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        k = min(self.n_neighbors, self._train_points.shape[0])
+        dists = euclidean_distance(points, self._train_points)
+        idx = np.argsort(dists, axis=1)[:, :k]
+        nd = np.take_along_axis(dists, idx, axis=1)
+        # Gaussian weights scaled by each row's neighbourhood radius.
+        scale = np.maximum(nd.mean(axis=1, keepdims=True), 1e-12)
+        w = np.exp(-nd / scale)
+        w = w / w.sum(axis=1, keepdims=True)
+        return np.einsum("nk,nkd->nd", w, self.embedding_[idx])

@@ -1,0 +1,32 @@
+"""Embedding substrate: deterministic sentence encoders replacing S-BERT.
+
+The paper embeds every attribute value (treated as a sentence) and every
+query with S-BERT ``all-mpnet-base-v2`` (768-dim).  Offline, we provide
+two interchangeable encoders behind the same protocol:
+
+* :class:`SemanticHashEncoder` — deterministic random-projection
+  embeddings over tokens, character n-grams and concept-lexicon
+  expansions.  The lexicon supplies the "pretrained" distributional
+  knowledge; no fitting required.
+* :class:`CooccurrenceEncoder` — corpus-trained embeddings from a PPMI
+  co-occurrence matrix factorized with truncated SVD; semantics are
+  derived from the corpus itself.
+
+Both produce L2-normalized vectors so cosine similarity is an inner
+product, exactly as with S-BERT mean-pooled embeddings.
+"""
+
+from repro.embedding.base import SentenceEncoder, mean_pool
+from repro.embedding.cache import CachingEncoder
+from repro.embedding.cooccurrence import CooccurrenceEncoder
+from repro.embedding.hashing import HashedFeatureSpace
+from repro.embedding.semantic import SemanticHashEncoder
+
+__all__ = [
+    "CachingEncoder",
+    "CooccurrenceEncoder",
+    "HashedFeatureSpace",
+    "SemanticHashEncoder",
+    "SentenceEncoder",
+    "mean_pool",
+]

@@ -1,0 +1,55 @@
+"""Encoder protocol and pooling helpers."""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.linalg.distances import normalize_rows
+
+__all__ = ["SentenceEncoder", "mean_pool"]
+
+
+def mean_pool(vectors: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+    """Weighted mean of row vectors, L2-normalized.
+
+    This mirrors S-BERT's mean pooling over token embeddings.  An empty
+    input pools to the zero vector (callers treat it as "no content").
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.size == 0:
+        raise ValueError("mean_pool of an empty stack is undefined; handle upstream")
+    if weights is None:
+        pooled = vectors.mean(axis=0)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        total = float(weights.sum())
+        if total <= 0.0:
+            pooled = vectors.mean(axis=0)
+        else:
+            pooled = (weights[:, np.newaxis] * vectors).sum(axis=0) / total
+    return normalize_rows(pooled)
+
+
+class SentenceEncoder(abc.ABC):
+    """Maps strings to fixed-dimensional L2-normalized vectors.
+
+    Subclasses implement :meth:`encode`; :meth:`encode_one` is a
+    convenience for single strings.  Encoders must be deterministic:
+    the same text always maps to the same vector.
+    """
+
+    @property
+    @abc.abstractmethod
+    def dim(self) -> int:
+        """Output dimensionality of the encoder."""
+
+    @abc.abstractmethod
+    def encode(self, texts: Sequence[str]) -> np.ndarray:
+        """Encode a batch of strings into an ``(len(texts), dim)`` array."""
+
+    def encode_one(self, text: str) -> np.ndarray:
+        """Encode a single string into a ``(dim,)`` vector."""
+        return self.encode([text])[0]

@@ -1,0 +1,76 @@
+"""Memoizing wrapper around any sentence encoder.
+
+Table corpora repeat cell values heavily ("2021-01-01", country names,
+category labels...), so caching whole-text embeddings is a large win
+when vectorizing a federation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.embedding.base import SentenceEncoder
+
+__all__ = ["CachingEncoder"]
+
+
+class CachingEncoder(SentenceEncoder):
+    """LRU cache in front of a delegate encoder.
+
+    Parameters
+    ----------
+    delegate:
+        The encoder doing the actual work.
+    max_size:
+        Maximum number of cached texts; least-recently-used entries are
+        evicted beyond that.
+    """
+
+    def __init__(self, delegate: SentenceEncoder, max_size: int = 200_000):
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        self.delegate = delegate
+        self.max_size = max_size
+        self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def dim(self) -> int:
+        return self.delegate.dim
+
+    def encode(self, texts: Sequence[str]) -> np.ndarray:
+        out = np.empty((len(texts), self.dim), dtype=np.float64)
+        missing_positions: list[int] = []
+        missing_texts: list[str] = []
+        for i, text in enumerate(texts):
+            cached = self._cache.get(text)
+            if cached is not None:
+                self._cache.move_to_end(text)
+                out[i] = cached
+                self.hits += 1
+            else:
+                missing_positions.append(i)
+                missing_texts.append(text)
+                self.misses += 1
+        if missing_texts:
+            fresh = self.delegate.encode(missing_texts)
+            for pos, text, vec in zip(missing_positions, missing_texts, fresh):
+                out[pos] = vec
+                self._cache[text] = vec
+                if len(self._cache) > self.max_size:
+                    self._cache.popitem(last=False)
+        return out
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters for instrumentation."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._cache)}
+
+    def clear(self) -> None:
+        """Empty the cache and reset counters."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

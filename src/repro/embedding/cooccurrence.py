@@ -1,0 +1,174 @@
+"""Corpus-trained embeddings: PPMI co-occurrence + truncated SVD.
+
+An alternative to the lexicon-driven :class:`SemanticHashEncoder` that
+derives semantics from the corpus itself, the way distributional models
+do: tokens that appear in similar contexts (within a sliding window)
+receive similar vectors.  Factorizing the positive pointwise mutual
+information (PPMI) matrix with truncated SVD is the classic
+count-based counterpart of word2vec (Levy & Goldberg, 2014).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import svds
+
+from repro.embedding.base import SentenceEncoder, mean_pool
+from repro.embedding.hashing import HashedFeatureSpace
+from repro.errors import ConfigurationError, NotFittedError
+from repro.text.tokenize import Tokenizer
+from repro.text.vocab import Vocabulary
+
+__all__ = ["CooccurrenceEncoder"]
+
+
+class CooccurrenceEncoder(SentenceEncoder):
+    """PPMI + SVD word vectors with IDF-weighted mean pooling.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality (bounded above by vocabulary size - 1).
+    window:
+        Sliding co-occurrence window radius (tokens to each side).
+    min_term_freq:
+        Tokens rarer than this are dropped from the trained vocabulary
+        and fall back to hashed vectors at encode time.
+    shift:
+        PPMI shift (``log k`` in SGNS terms); larger values sparsify.
+    seed:
+        Seed for the SVD initialization vector.
+
+    Out-of-vocabulary tokens at encode time are embedded with a hashed
+    fallback space so unseen queries still produce usable vectors.
+    """
+
+    def __init__(
+        self,
+        dim: int = 256,
+        window: int = 4,
+        min_term_freq: int = 2,
+        shift: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if dim < 2:
+            raise ConfigurationError("dim must be >= 2")
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        self._dim = dim
+        self.window = window
+        self.min_term_freq = min_term_freq
+        self.shift = shift
+        self.seed = seed
+        self._tokenizer = Tokenizer()
+        self._fallback = HashedFeatureSpace(dim, namespace="oov")
+        self.vocab: Vocabulary | None = None
+        self._vectors: np.ndarray | None = None
+
+    # -- training -------------------------------------------------------
+
+    def fit(self, documents: Iterable[str]) -> "CooccurrenceEncoder":
+        """Train token vectors from an iterable of raw text documents."""
+        token_docs = [self._tokenizer.tokenize(doc) for doc in documents]
+        full_vocab = Vocabulary.from_documents(token_docs)
+        self.vocab = full_vocab.prune(min_term_freq=self.min_term_freq)
+        if len(self.vocab) < 3:
+            raise ConfigurationError(
+                "corpus too small to train co-occurrence embeddings "
+                f"(vocabulary of {len(self.vocab)} tokens)"
+            )
+        counts = self._count_cooccurrences(token_docs)
+        ppmi = self._ppmi(counts)
+        k = min(self._dim, min(ppmi.shape) - 1)
+        rng = np.random.default_rng(self.seed)
+        v0 = rng.standard_normal(min(ppmi.shape))
+        u, s, _ = svds(ppmi, k=k, v0=v0)
+        # svds returns singular values ascending; flip to conventional order.
+        order = np.argsort(s)[::-1]
+        u, s = u[:, order], s[order]
+        vectors = u * np.sqrt(s)[np.newaxis, :]
+        if k < self._dim:
+            vectors = np.pad(vectors, ((0, 0), (0, self._dim - k)))
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        self._vectors = vectors / np.where(norms > 0, norms, 1.0)
+        return self
+
+    def _count_cooccurrences(self, token_docs: list[list[str]]) -> sp.csr_matrix:
+        assert self.vocab is not None
+        pair_counts: Counter[tuple[int, int]] = Counter()
+        for tokens in token_docs:
+            ids = [self.vocab.id_of(t) for t in tokens]
+            for i, center in enumerate(ids):
+                if center is None:
+                    continue
+                lo = max(0, i - self.window)
+                hi = min(len(ids), i + self.window + 1)
+                for j in range(lo, hi):
+                    context = ids[j]
+                    if j == i or context is None:
+                        continue
+                    pair_counts[(center, context)] += 1
+        n = len(self.vocab)
+        if not pair_counts:
+            return sp.csr_matrix((n, n))
+        rows, cols, data = zip(*((r, c, v) for (r, c), v in pair_counts.items()))
+        return sp.csr_matrix((data, (rows, cols)), shape=(n, n), dtype=np.float64)
+
+    def _ppmi(self, counts: sp.csr_matrix) -> sp.csr_matrix:
+        total = counts.sum()
+        if total == 0:
+            return counts
+        row_sums = np.asarray(counts.sum(axis=1)).ravel()
+        col_sums = np.asarray(counts.sum(axis=0)).ravel()
+        coo = counts.tocoo()
+        pmi = np.log(
+            (coo.data * total)
+            / (row_sums[coo.row] * col_sums[coo.col])
+        ) - self.shift
+        positive = pmi > 0
+        return sp.csr_matrix(
+            (pmi[positive], (coo.row[positive], coo.col[positive])),
+            shape=counts.shape,
+        )
+
+    # -- SentenceEncoder API ---------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._vectors is not None
+
+    def encode(self, texts: Sequence[str]) -> np.ndarray:
+        """Encode texts using trained vectors (hashed fallback for OOV)."""
+        if self.vocab is None or self._vectors is None:
+            raise NotFittedError("CooccurrenceEncoder.encode called before fit")
+        out = np.zeros((len(texts), self._dim), dtype=np.float64)
+        for i, text in enumerate(texts):
+            tokens = self._tokenizer.tokenize(text)
+            if not tokens:
+                continue
+            rows = np.vstack([self._token_vector(t) for t in tokens])
+            weights = np.array([self.vocab.idf(t) for t in tokens])
+            out[i] = mean_pool(rows, weights)
+        return out
+
+    def _token_vector(self, token: str) -> np.ndarray:
+        assert self.vocab is not None and self._vectors is not None
+        token_id = self.vocab.id_of(token)
+        if token_id is None:
+            return self._fallback.vector(token)
+        return self._vectors[token_id]
+
+    def token_similarity(self, a: str, b: str) -> float:
+        """Cosine similarity of two individual tokens' trained vectors."""
+        va, vb = self._token_vector(a), self._token_vector(b)
+        denom = float(np.linalg.norm(va) * np.linalg.norm(vb))
+        return float(va @ vb / denom) if denom > 0 else 0.0

@@ -1,0 +1,79 @@
+"""Deterministic hashed feature space.
+
+Every string feature (a token, a character n-gram, a concept id) is
+mapped to a fixed pseudo-random Gaussian vector derived from a
+cryptographic hash of the feature string.  The mapping is stable across
+processes and Python versions (no reliance on ``hash()``), so embeddings
+are reproducible everywhere.  Feature vectors are memoized.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["HashedFeatureSpace"]
+
+
+class HashedFeatureSpace:
+    """Stable feature-string -> Gaussian-vector mapping with memoization.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of feature vectors.
+    namespace:
+        Distinguishes independent feature spaces (e.g. token vs concept
+        features) so the same string gets uncorrelated vectors in each.
+    max_cache_size:
+        Upper bound on memoized vectors; when exceeded the cache is
+        cleared (feature vectors are cheap to regenerate).
+    """
+
+    def __init__(self, dim: int, namespace: str = "", max_cache_size: int = 500_000):
+        if dim < 1:
+            raise ConfigurationError("dim must be >= 1")
+        self.dim = dim
+        self.namespace = namespace
+        self.max_cache_size = max_cache_size
+        self._cache: dict[str, np.ndarray] = {}
+
+    def vector(self, feature: str) -> np.ndarray:
+        """Deterministic unit-norm pseudo-random vector for a feature.
+
+        Vectors of distinct features are nearly orthogonal in high
+        dimension, so weighted sums behave like coordinates in an
+        approximately orthonormal feature basis.
+        """
+        cached = self._cache.get(feature)
+        if cached is not None:
+            return cached
+        digest = hashlib.blake2b(
+            f"{self.namespace}\x00{feature}".encode("utf-8"), digest_size=8
+        ).digest()
+        seed = int.from_bytes(digest, "little")
+        vec = np.random.default_rng(seed).standard_normal(self.dim)
+        vec /= np.linalg.norm(vec)
+        if len(self._cache) >= self.max_cache_size:
+            self._cache.clear()
+        self._cache[feature] = vec
+        return vec
+
+    def weighted_sum(self, features: dict[str, float]) -> np.ndarray:
+        """Sum of feature vectors scaled by their weights."""
+        out = np.zeros(self.dim, dtype=np.float64)
+        for feature, weight in features.items():
+            if weight != 0.0:
+                out += weight * self.vector(feature)
+        return out
+
+    def cache_size(self) -> int:
+        """Number of memoized feature vectors."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop all memoized vectors."""
+        self._cache.clear()

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything the library raises with a single handler
+while still being able to distinguish specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class NotFittedError(ReproError):
+    """A model/index was used before it was fitted or built."""
+
+
+class DimensionMismatchError(ReproError):
+    """Vector dimensionality does not match what a component expects."""
+
+
+class CollectionError(ReproError):
+    """A vector-database collection operation failed."""
+
+
+class CollectionNotFoundError(CollectionError):
+    """The requested collection does not exist."""
+
+
+class CollectionExistsError(CollectionError):
+    """A collection with the requested name already exists."""
+
+
+class PointNotFoundError(CollectionError):
+    """The requested point id does not exist in the collection."""
+
+
+class EmptyIndexError(ReproError):
+    """A search was issued against an index that contains no vectors."""
+
+
+class DataGenerationError(ReproError):
+    """Synthetic corpus or query generation failed."""
+
+
+class EvaluationError(ReproError):
+    """Metric computation or experiment evaluation failed."""

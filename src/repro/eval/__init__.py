@@ -1,0 +1,42 @@
+"""Evaluation substrate: graded relevance, IR metrics, splits, runners."""
+
+from repro.eval.metrics import (
+    average_precision,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.eval.qrels import Qrels, QueryJudgments
+from repro.eval.runner import MethodReport, evaluate_method
+from repro.eval.significance import (
+    SignificanceResult,
+    compare_reports,
+    paired_bootstrap,
+    paired_t_test,
+)
+from repro.eval.splits import train_test_split_pairs
+from repro.eval.timing import TimingReport, time_queries
+
+__all__ = [
+    "MethodReport",
+    "Qrels",
+    "SignificanceResult",
+    "QueryJudgments",
+    "TimingReport",
+    "average_precision",
+    "compare_reports",
+    "evaluate_method",
+    "mean_average_precision",
+    "mean_reciprocal_rank",
+    "ndcg_at_k",
+    "paired_bootstrap",
+    "paired_t_test",
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+    "time_queries",
+    "train_test_split_pairs",
+]

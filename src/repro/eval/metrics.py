@@ -1,0 +1,115 @@
+"""Ranking quality metrics: MAP, MRR, NDCG@k, precision/recall@k.
+
+Conventions (matching the paper's evaluation, Sec 5.1):
+
+* relevance is graded 0 / 1 / 2 (irrelevant / partial / full);
+* for the binary metrics (AP, RR, P@k, R@k) any grade > 0 counts as
+  relevant;
+* NDCG uses the exponential gain ``2^grade - 1`` with log2 discounting
+  and is reported at cut-offs 5, 10, 15, 20.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.errors import EvaluationError
+
+__all__ = [
+    "average_precision",
+    "mean_average_precision",
+    "reciprocal_rank",
+    "mean_reciprocal_rank",
+    "ndcg_at_k",
+    "precision_at_k",
+    "recall_at_k",
+]
+
+Grades = Mapping[str, int]
+
+
+def _grade(qrels: Grades, doc_id: str) -> int:
+    return int(qrels.get(doc_id, 0))
+
+
+def average_precision(ranking: Sequence[str], qrels: Grades) -> float:
+    """AP of one ranking; 0.0 when the query has no relevant documents."""
+    n_relevant = sum(1 for g in qrels.values() if g > 0)
+    if n_relevant == 0:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for rank, doc_id in enumerate(ranking, start=1):
+        if _grade(qrels, doc_id) > 0:
+            hits += 1
+            total += hits / rank
+    return total / n_relevant
+
+
+def reciprocal_rank(ranking: Sequence[str], qrels: Grades) -> float:
+    """1/rank of the first relevant document (0.0 if none retrieved)."""
+    for rank, doc_id in enumerate(ranking, start=1):
+        if _grade(qrels, doc_id) > 0:
+            return 1.0 / rank
+    return 0.0
+
+
+def precision_at_k(ranking: Sequence[str], qrels: Grades, k: int) -> float:
+    """Fraction of the top-k that is relevant."""
+    if k < 1:
+        raise EvaluationError("k must be >= 1")
+    top = ranking[:k]
+    if not top:
+        return 0.0
+    return sum(1 for d in top if _grade(qrels, d) > 0) / k
+
+
+def recall_at_k(ranking: Sequence[str], qrels: Grades, k: int) -> float:
+    """Fraction of relevant documents found in the top-k."""
+    if k < 1:
+        raise EvaluationError("k must be >= 1")
+    n_relevant = sum(1 for g in qrels.values() if g > 0)
+    if n_relevant == 0:
+        return 0.0
+    return sum(1 for d in ranking[:k] if _grade(qrels, d) > 0) / n_relevant
+
+
+def ndcg_at_k(ranking: Sequence[str], qrels: Grades, k: int) -> float:
+    """Normalized discounted cumulative gain at cut-off ``k``.
+
+    Gain ``2^grade - 1``, discount ``log2(rank + 1)``; the ideal DCG
+    normalizer uses the best possible ordering of the judged documents.
+    """
+    if k < 1:
+        raise EvaluationError("k must be >= 1")
+    dcg = 0.0
+    for rank, doc_id in enumerate(ranking[:k], start=1):
+        gain = (2 ** _grade(qrels, doc_id)) - 1
+        if gain:
+            dcg += gain / math.log2(rank + 1)
+    ideal = sorted((g for g in qrels.values() if g > 0), reverse=True)[:k]
+    idcg = sum((2**g - 1) / math.log2(r + 1) for r, g in enumerate(ideal, start=1))
+    return dcg / idcg if idcg > 0 else 0.0
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def mean_average_precision(
+    rankings: Mapping[str, Sequence[str]], qrels_by_query: Mapping[str, Grades]
+) -> float:
+    """MAP over the queries present in ``qrels_by_query``."""
+    return _mean(
+        [average_precision(rankings.get(q, ()), qrels_by_query[q]) for q in qrels_by_query]
+    )
+
+
+def mean_reciprocal_rank(
+    rankings: Mapping[str, Sequence[str]], qrels_by_query: Mapping[str, Grades]
+) -> float:
+    """MRR over the queries present in ``qrels_by_query``."""
+    return _mean(
+        [reciprocal_rank(rankings.get(q, ()), qrels_by_query[q]) for q in qrels_by_query]
+    )

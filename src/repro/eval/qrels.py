@@ -1,0 +1,128 @@
+"""Graded relevance judgments (qrels) in the WikiTables style.
+
+The WikiTables benchmark ships query-table pairs graded on a
+three-point scale — 0 irrelevant, 1 partially relevant, 2 fully
+relevant — and the paper uses 3,117 such pairs (1,918 to tune ranking
+weights, 1,199 to evaluate).  :class:`Qrels` stores judgments keyed by
+query text.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import EvaluationError
+
+__all__ = ["QueryJudgments", "Qrels"]
+
+VALID_GRADES = (0, 1, 2)
+
+
+class QueryJudgments:
+    """Judgments of one query: relation_id -> grade."""
+
+    def __init__(self, query: str, grades: dict[str, int] | None = None):
+        self.query = query
+        self._grades: dict[str, int] = {}
+        for relation_id, grade in (grades or {}).items():
+            self.judge(relation_id, grade)
+
+    def judge(self, relation_id: str, grade: int) -> None:
+        if grade not in VALID_GRADES:
+            raise EvaluationError(f"grade must be one of {VALID_GRADES}, got {grade}")
+        self._grades[relation_id] = grade
+
+    def grade(self, relation_id: str) -> int:
+        return self._grades.get(relation_id, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._grades)
+
+    @property
+    def n_relevant(self) -> int:
+        return sum(1 for g in self._grades.values() if g > 0)
+
+    def relevant_ids(self) -> set[str]:
+        return {rid for rid, g in self._grades.items() if g > 0}
+
+    def __len__(self) -> int:
+        return len(self._grades)
+
+
+class Qrels:
+    """All judgments of a benchmark: query text -> QueryJudgments."""
+
+    def __init__(self) -> None:
+        self._by_query: dict[str, QueryJudgments] = {}
+
+    def add(self, query: str, relation_id: str, grade: int) -> None:
+        if query not in self._by_query:
+            self._by_query[query] = QueryJudgments(query)
+        self._by_query[query].judge(relation_id, grade)
+
+    def judgments(self, query: str) -> QueryJudgments:
+        if query not in self._by_query:
+            raise EvaluationError(f"no judgments for query {query!r}")
+        return self._by_query[query]
+
+    def queries(self) -> list[str]:
+        return sorted(self._by_query)
+
+    def __contains__(self, query: str) -> bool:
+        return query in self._by_query
+
+    def __len__(self) -> int:
+        return len(self._by_query)
+
+    def __iter__(self) -> Iterator[QueryJudgments]:
+        for query in self.queries():
+            yield self._by_query[query]
+
+    @property
+    def n_pairs(self) -> int:
+        """Total judged (query, relation) pairs."""
+        return sum(len(j) for j in self._by_query.values())
+
+    def pairs(self) -> list[tuple[str, str, int]]:
+        """Flat (query, relation_id, grade) triples, deterministic order."""
+        out = []
+        for query in self.queries():
+            judgments = self._by_query[query]
+            for relation_id in sorted(judgments.as_dict()):
+                out.append((query, relation_id, judgments.grade(relation_id)))
+        return out
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[str, str, int]]) -> "Qrels":
+        qrels = cls()
+        for query, relation_id, grade in pairs:
+            qrels.add(query, relation_id, grade)
+        return qrels
+
+    def restrict_to(self, relation_ids: set[str]) -> "Qrels":
+        """Qrels filtered to a relation subset (for SD/MD partitions)."""
+        out = Qrels()
+        for query, relation_id, grade in self.pairs():
+            if relation_id in relation_ids:
+                out.add(query, relation_id, grade)
+        return out
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        with open(path, "w") as fh:
+            json.dump(
+                {q: self._by_query[q].as_dict() for q in self.queries()}, fh, indent=1
+            )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Qrels":
+        with open(path) as fh:
+            doc = json.load(fh)
+        qrels = cls()
+        for query, grades in doc.items():
+            for relation_id, grade in grades.items():
+                qrels.add(query, relation_id, int(grade))
+        return qrels

@@ -1,0 +1,74 @@
+"""Evaluate a retrieval method against qrels.
+
+Produces the metric bundle the paper reports per (dataset, query
+category, method) cell: MAP, MRR and NDCG at cut-offs 5/10/15/20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.metrics import average_precision, ndcg_at_k, reciprocal_rank
+from repro.eval.qrels import Qrels
+
+__all__ = ["MethodReport", "evaluate_method"]
+
+NDCG_CUTOFFS = (5, 10, 15, 20)
+
+
+@dataclass
+class MethodReport:
+    """Aggregated quality metrics of one method on one query set."""
+
+    method: str
+    map: float
+    mrr: float
+    ndcg: dict[int, float]
+    n_queries: int
+    per_query_ap: dict[str, float] = field(default_factory=dict)
+
+    def row(self) -> list[float]:
+        """Values in the paper's column order: MAP MRR NDCG@5/10/15/20."""
+        return [self.map, self.mrr] + [self.ndcg[k] for k in NDCG_CUTOFFS]
+
+
+def evaluate_method(
+    searcher,
+    qrels: Qrels,
+    k: int = 20,
+    h: float | None = None,
+    method_name: str | None = None,
+) -> MethodReport:
+    """Run every judged query through ``searcher`` and aggregate metrics.
+
+    ``searcher`` is anything with ``search(query, k=..., h=...) ->
+    SearchResult`` (the core methods and the baselines both qualify).
+    ``h`` of None uses the searcher's own default threshold.
+    """
+    total_ap = 0.0
+    total_rr = 0.0
+    total_ndcg = {cutoff: 0.0 for cutoff in NDCG_CUTOFFS}
+    per_query_ap: dict[str, float] = {}
+    queries = qrels.queries()
+    for query in queries:
+        kwargs = {"k": k}
+        if h is not None:
+            kwargs["h"] = h
+        result = searcher.search(query, **kwargs)
+        ranking = result.relation_ids()
+        grades = qrels.judgments(query).as_dict()
+        ap = average_precision(ranking, grades)
+        per_query_ap[query] = ap
+        total_ap += ap
+        total_rr += reciprocal_rank(ranking, grades)
+        for cutoff in NDCG_CUTOFFS:
+            total_ndcg[cutoff] += ndcg_at_k(ranking, grades, cutoff)
+    n = max(len(queries), 1)
+    return MethodReport(
+        method=method_name or getattr(searcher, "name", type(searcher).__name__),
+        map=total_ap / n,
+        mrr=total_rr / n,
+        ndcg={cutoff: v / n for cutoff, v in total_ndcg.items()},
+        n_queries=len(queries),
+        per_query_ap=per_query_ap,
+    )

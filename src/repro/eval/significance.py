@@ -1,0 +1,133 @@
+"""Statistical significance of quality differences between methods.
+
+The paper reports point estimates only; a careful reproduction should
+say which gaps are meaningful.  Two standard IR tests over per-query
+average-precision scores:
+
+* paired t-test (via scipy) — the classic choice;
+* paired bootstrap — distribution-free, preferred for small query sets
+  like the 60-query benchmark here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import EvaluationError
+from repro.eval.runner import MethodReport
+
+__all__ = ["SignificanceResult", "paired_t_test", "paired_bootstrap", "compare_reports"]
+
+
+@dataclass(frozen=True)
+class SignificanceResult:
+    """Outcome of one paired comparison (method A minus method B)."""
+
+    method_a: str
+    method_b: str
+    mean_difference: float
+    p_value: float
+    n_queries: int
+    test: str
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the difference is significant at level ``alpha``."""
+        return self.p_value < alpha
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        marker = "*" if self.significant() else " "
+        return (
+            f"{self.method_a} - {self.method_b}: "
+            f"dMAP={self.mean_difference:+.3f} p={self.p_value:.3f}{marker} "
+            f"({self.test}, n={self.n_queries})"
+        )
+
+
+def _paired_scores(
+    a: dict[str, float], b: dict[str, float]
+) -> tuple[np.ndarray, np.ndarray]:
+    shared = sorted(set(a) & set(b))
+    if len(shared) < 2:
+        raise EvaluationError("need at least 2 shared queries for a paired test")
+    return (
+        np.array([a[q] for q in shared]),
+        np.array([b[q] for q in shared]),
+    )
+
+
+def paired_t_test(
+    per_query_a: dict[str, float],
+    per_query_b: dict[str, float],
+    name_a: str = "A",
+    name_b: str = "B",
+) -> SignificanceResult:
+    """Two-sided paired t-test on per-query scores."""
+    scores_a, scores_b = _paired_scores(per_query_a, per_query_b)
+    diff = scores_a - scores_b
+    if np.allclose(diff, 0.0):
+        # identical rankings: no evidence of any difference
+        return SignificanceResult(name_a, name_b, 0.0, 1.0, len(diff), "paired-t")
+    t_stat, p_value = stats.ttest_rel(scores_a, scores_b)
+    return SignificanceResult(
+        method_a=name_a,
+        method_b=name_b,
+        mean_difference=float(diff.mean()),
+        p_value=float(p_value),
+        n_queries=len(diff),
+        test="paired-t",
+    )
+
+
+def paired_bootstrap(
+    per_query_a: dict[str, float],
+    per_query_b: dict[str, float],
+    name_a: str = "A",
+    name_b: str = "B",
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> SignificanceResult:
+    """Two-sided paired bootstrap test on the mean difference.
+
+    Resamples queries with replacement; the p-value is twice the
+    fraction of resampled mean differences whose sign disagrees with
+    the observed one (clamped to 1).
+    """
+    scores_a, scores_b = _paired_scores(per_query_a, per_query_b)
+    diff = scores_a - scores_b
+    observed = float(diff.mean())
+    if np.allclose(diff, 0.0):
+        return SignificanceResult(name_a, name_b, 0.0, 1.0, len(diff), "bootstrap")
+    rng = np.random.default_rng(seed)
+    samples = rng.choice(diff, size=(n_resamples, diff.shape[0]), replace=True)
+    means = samples.mean(axis=1)
+    if observed >= 0:
+        disagree = float(np.mean(means <= 0.0))
+    else:
+        disagree = float(np.mean(means >= 0.0))
+    p_value = min(1.0, 2.0 * disagree)
+    return SignificanceResult(
+        method_a=name_a,
+        method_b=name_b,
+        mean_difference=observed,
+        p_value=p_value,
+        n_queries=len(diff),
+        test="bootstrap",
+    )
+
+
+def compare_reports(
+    report_a: MethodReport, report_b: MethodReport, test: str = "bootstrap"
+) -> SignificanceResult:
+    """Compare two MethodReports on their shared per-query AP scores."""
+    if test == "bootstrap":
+        return paired_bootstrap(
+            report_a.per_query_ap, report_b.per_query_ap, report_a.method, report_b.method
+        )
+    if test == "t":
+        return paired_t_test(
+            report_a.per_query_ap, report_b.per_query_ap, report_a.method, report_b.method
+        )
+    raise EvaluationError(f"unknown test {test!r}; expected 'bootstrap' or 't'")

@@ -1,0 +1,66 @@
+"""Query latency measurement (paper Sec 5.4, Table 4 and Figure 3)."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+
+__all__ = ["TimingReport", "time_queries"]
+
+
+@dataclass
+class TimingReport:
+    """Latency statistics of one method over a query set."""
+
+    method: str
+    mean_ms: float
+    median_ms: float
+    p95_ms: float
+    min_ms: float
+    max_ms: float
+    n_queries: int
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return (
+            f"{self.method}: mean {self.mean_ms:.1f}ms median {self.median_ms:.1f}ms "
+            f"p95 {self.p95_ms:.1f}ms over {self.n_queries} queries"
+        )
+
+
+def time_queries(
+    searcher,
+    queries: list[str],
+    k: int = 20,
+    warmup: int = 1,
+    repeats: int = 1,
+    method_name: str | None = None,
+) -> TimingReport:
+    """Measure per-query search latency.
+
+    ``warmup`` unmeasured passes populate caches (matching the paper's
+    warm-index setting); each query is then timed ``repeats`` times and
+    every measurement contributes to the statistics.
+    """
+    if not queries:
+        raise ValueError("need at least one query to time")
+    for _ in range(warmup):
+        for query in queries:
+            searcher.search(query, k=k)
+    samples: list[float] = []
+    for _ in range(repeats):
+        for query in queries:
+            start = time.perf_counter()
+            searcher.search(query, k=k)
+            samples.append((time.perf_counter() - start) * 1000.0)
+    samples.sort()
+    p95_index = min(len(samples) - 1, int(round(0.95 * (len(samples) - 1))))
+    return TimingReport(
+        method=method_name or getattr(searcher, "name", type(searcher).__name__),
+        mean_ms=statistics.fmean(samples),
+        median_ms=statistics.median(samples),
+        p95_ms=samples[p95_index],
+        min_ms=samples[0],
+        max_ms=samples[-1],
+        n_queries=len(queries),
+    )

@@ -1,0 +1,35 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+* :mod:`repro.experiments.config` — experiment configuration.
+* :mod:`repro.experiments.quality` — Tables 1-3 (MAP/MRR/NDCG per
+  query category, per dataset scale, per method).
+* :mod:`repro.experiments.timing` — Table 4 and Figure 3 (query time).
+* :mod:`repro.experiments.casestudy` — Sec 5.3's qualitative
+  CTS-vs-ExS-vs-ANNS comparison.
+* :mod:`repro.experiments.tables` — paper-style table rendering.
+"""
+
+from repro.experiments.casestudy import (
+    CASE_STUDY_QUERY,
+    CaseStudyReport,
+    build_case_study_corpus,
+    run_case_study,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.quality import QualityCell, run_quality_experiment
+from repro.experiments.tables import format_quality_table, format_timing_table
+from repro.experiments.timing import TimingCell, run_timing_experiment
+
+__all__ = [
+    "CASE_STUDY_QUERY",
+    "CaseStudyReport",
+    "ExperimentConfig",
+    "QualityCell",
+    "TimingCell",
+    "build_case_study_corpus",
+    "format_quality_table",
+    "format_timing_table",
+    "run_case_study",
+    "run_quality_experiment",
+    "run_timing_experiment",
+]

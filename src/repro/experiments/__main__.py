@@ -1,0 +1,109 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments table1            # long-query quality
+    python -m repro.experiments table2            # moderate
+    python -m repro.experiments table3            # short
+    python -m repro.experiments table4            # CTS vs ANNS latency
+    python -m repro.experiments figure3           # all-method runtime
+    python -m repro.experiments casestudy         # Sec 5.3
+    python -m repro.experiments all               # everything above
+
+Options scale the experiment (defaults match the production config in
+EXPERIMENTS.md): ``--tables N``, ``--dim D``, ``--corpus wikitables|edp``,
+``--seed S``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.queries import QueryCategory
+from repro.experiments.casestudy import CASE_STUDY_QUERY, run_case_study
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.quality import make_corpus, run_quality_experiment
+from repro.experiments.tables import format_quality_table, format_timing_table
+from repro.experiments.timing import run_timing_experiment, timing_rows
+
+_QUALITY = {
+    "table1": (QueryCategory.LONG, "Table 1: Quality of long query results"),
+    "table2": (QueryCategory.MODERATE, "Table 2: Quality of moderate query results"),
+    "table3": (QueryCategory.SHORT, "Table 3: Quality of short query results"),
+}
+
+
+def _run_quality(name: str, config: ExperimentConfig, corpus) -> None:
+    category, title = _QUALITY[name]
+    cells = run_quality_experiment(config, category, corpus=corpus)
+    print(format_quality_table(cells, title))
+    print()
+
+
+def _run_table4(config: ExperimentConfig, corpus) -> None:
+    cells = run_timing_experiment(config, corpus=corpus)
+    rows = timing_rows(cells, ("cts", "anns"))
+    print(format_timing_table(rows, "Table 4: Query Time (ms) for CTS vs. ANNS"))
+    print()
+
+
+def _run_figure3(config: ExperimentConfig, corpus) -> None:
+    cells = run_timing_experiment(
+        config, categories=(QueryCategory.LONG,), corpus=corpus
+    )
+    rows = timing_rows(cells, tuple(config.methods))
+    print(format_timing_table(rows, "Figure 3: runtime (ms/query, long queries)"))
+    print()
+
+
+def _run_casestudy(config: ExperimentConfig) -> None:
+    print(f'Sec 5.3 case study — query: "{CASE_STUDY_QUERY}"')
+    reports = run_case_study(dim=config.encoder_dim, seed=config.seed)
+    for method in ("exs", "anns", "cts"):
+        print(reports[method].summary())
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=[*_QUALITY, "table4", "figure3", "casestudy", "all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument("--tables", type=int, default=400, help="corpus size (LD)")
+    parser.add_argument("--dim", type=int, default=256, help="encoder dimensionality")
+    parser.add_argument("--corpus", default="wikitables", choices=["wikitables", "edp"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(
+        corpus=args.corpus, n_tables=args.tables, encoder_dim=args.dim, seed=args.seed
+    )
+    wanted = (
+        [args.artifact]
+        if args.artifact != "all"
+        else ["table1", "table2", "table3", "table4", "figure3", "casestudy"]
+    )
+    corpus = make_corpus(config) if any(w != "casestudy" for w in wanted) else None
+    if corpus is not None:
+        print(corpus.describe())
+        print()
+    for artifact in wanted:
+        if artifact in _QUALITY:
+            _run_quality(artifact, config, corpus)
+        elif artifact == "table4":
+            _run_table4(config, corpus)
+        elif artifact == "figure3":
+            _run_figure3(config, corpus)
+        else:
+            _run_casestudy(config)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

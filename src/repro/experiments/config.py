@@ -1,0 +1,42 @@
+"""Experiment configuration shared by the quality and timing runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentConfig", "ALL_METHODS", "CORE_METHODS", "BASELINE_METHODS"]
+
+CORE_METHODS = ("cts", "anns", "exs")
+BASELINE_METHODS = ("mdr", "ws", "tcs", "adh", "tml")
+ALL_METHODS = CORE_METHODS + BASELINE_METHODS
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs for one experiment run.
+
+    The defaults are the scaled-down equivalents of the paper's setup
+    (see DESIGN.md): a few hundred tables instead of 1.6M, encoder at
+    256 dims instead of 768, 60 queries, 3,117 judged pairs.
+    """
+
+    corpus: str = "wikitables"  # or "edp"
+    n_tables: int = 400
+    encoder_dim: int = 256
+    k: int = 50
+    h: float = 0.0
+    seed: int = 0
+    methods: tuple[str, ...] = ALL_METHODS
+    train_fraction: float = 1918 / 3117
+    method_params: dict[str, dict] = field(default_factory=dict)
+
+    def core_params(self) -> dict[str, dict]:
+        """Method-param overrides for the DiscoveryEngine."""
+        return {
+            name: params
+            for name, params in self.method_params.items()
+            if name in CORE_METHODS
+        }
+
+    def baseline_params(self, name: str) -> dict:
+        return dict(self.method_params.get(name, {}))

@@ -1,0 +1,120 @@
+"""Search-quality experiment: regenerates Tables 1, 2 and 3.
+
+Protocol (paper Sec 5):
+
+1. generate the corpus (WikiTables-like or EDP-like);
+2. split the 3,117 judged pairs into 1,918 training / 1,199 test by
+   query;
+3. for each dataset scale (SD 10% / MD 50% / LD 100%): index the
+   partition with the shared encoder, train the trainable baselines
+   (MDR field weights, WS regression, TCS forest) on the training
+   split, then evaluate every method on the test split's queries of
+   the requested length category;
+4. report MAP, MRR and NDCG@{5,10,15,20} per method, ordered by MAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import make_baseline
+from repro.core.engine import DiscoveryEngine
+from repro.data.corpus import Corpus, DatasetScale
+from repro.data.edp import generate_edp_corpus
+from repro.data.queries import QueryCategory
+from repro.data.wikitables import generate_wikitables_corpus
+from repro.eval.qrels import Qrels
+from repro.eval.runner import MethodReport, evaluate_method
+from repro.eval.splits import train_test_split_pairs
+from repro.experiments.config import BASELINE_METHODS, CORE_METHODS, ExperimentConfig
+
+__all__ = ["QualityCell", "run_quality_experiment", "make_corpus", "prepare_methods"]
+
+
+@dataclass
+class QualityCell:
+    """One table cell group: a method's metrics at one dataset scale."""
+
+    scale: DatasetScale
+    method: str
+    report: MethodReport
+
+
+def make_corpus(config: ExperimentConfig) -> Corpus:
+    """Instantiate the configured corpus."""
+    if config.corpus == "wikitables":
+        return generate_wikitables_corpus(n_tables=config.n_tables, seed=config.seed)
+    if config.corpus == "edp":
+        return generate_edp_corpus(n_tables=config.n_tables, seed=config.seed)
+    raise ValueError(f"unknown corpus {config.corpus!r}")
+
+
+def prepare_methods(
+    corpus: Corpus,
+    scale: DatasetScale,
+    config: ExperimentConfig,
+    train_qrels: Qrels,
+) -> dict[str, object]:
+    """Index every configured method over one scale partition.
+
+    Returns a name -> searcher mapping; every searcher exposes
+    ``search(query, k=...)``.
+    """
+    federation = corpus.federation(scale)
+    engine = DiscoveryEngine(dim=config.encoder_dim, method_params=config.core_params())
+    engine.index(federation)
+
+    searchers: dict[str, object] = {}
+    for name in config.methods:
+        if name in CORE_METHODS:
+            searchers[name] = engine.method(name)
+        elif name in BASELINE_METHODS:
+            baseline = make_baseline(name, **config.baseline_params(name))
+            baseline.index_federation(federation, engine.embeddings)
+            if hasattr(baseline, "fit"):
+                baseline.fit(train_qrels.pairs())
+            searchers[name] = baseline
+        else:
+            raise ValueError(f"unknown method {name!r}")
+    return searchers
+
+
+def run_quality_experiment(
+    config: ExperimentConfig,
+    category: QueryCategory,
+    scales: tuple[DatasetScale, ...] = (
+        DatasetScale.LARGE,
+        DatasetScale.MODERATE,
+        DatasetScale.SMALL,
+    ),
+    corpus: Corpus | None = None,
+) -> list[QualityCell]:
+    """Run one of Tables 1-3 (pick the query category).
+
+    Returns cells grouped by scale, each scale's methods sorted by
+    descending MAP (the paper's row order).
+    """
+    corpus = corpus if corpus is not None else make_corpus(config)
+    train_qrels, test_qrels = train_test_split_pairs(
+        corpus.qrels, train_fraction=config.train_fraction, seed=config.seed
+    )
+    category_texts = set(corpus.query_texts(category))
+
+    cells: list[QualityCell] = []
+    for scale in scales:
+        scale_ids = {corpus.qualified_id(r) for r in corpus.partition_relations(scale)}
+        scoped_train = train_qrels.restrict_to(scale_ids)
+        scoped_test = Qrels()
+        for query, relation_id, grade in test_qrels.restrict_to(scale_ids).pairs():
+            if query in category_texts:
+                scoped_test.add(query, relation_id, grade)
+        searchers = prepare_methods(corpus, scale, config, scoped_train)
+        scale_cells = []
+        for name, searcher in searchers.items():
+            report = evaluate_method(
+                searcher, scoped_test, k=config.k, method_name=name
+            )
+            scale_cells.append(QualityCell(scale=scale, method=name, report=report))
+        scale_cells.sort(key=lambda c: -c.report.map)
+        cells.extend(scale_cells)
+    return cells

@@ -1,0 +1,54 @@
+"""Render experiment results as the paper's tables."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments.quality import QualityCell
+
+__all__ = ["format_quality_table", "format_timing_table"]
+
+
+def format_quality_table(cells: list[QualityCell], title: str) -> str:
+    """Paper-style quality table (Tables 1-3 layout).
+
+    Columns: Dataset | Method | MAP | MRR | NDCG@5 | @10 | @15 | @20.
+    """
+    lines = [title, "=" * len(title)]
+    header = f"{'Dataset':8} {'Method':6} {'MAP':>6} {'MRR':>6} " + " ".join(
+        f"N@{k:<3}" for k in (5, 10, 15, 20)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    by_scale: dict[str, list[QualityCell]] = defaultdict(list)
+    for cell in cells:
+        by_scale[cell.scale.value].append(cell)
+    for scale in ("LD", "MD", "SD"):
+        for i, cell in enumerate(by_scale.get(scale, [])):
+            r = cell.report
+            scale_label = scale if i == 0 else ""
+            ndcg = " ".join(f"{r.ndcg[k]:.3f}" for k in (5, 10, 15, 20))
+            lines.append(
+                f"{scale_label:8} {cell.method.upper():6} {r.map:6.3f} {r.mrr:6.3f} {ndcg}"
+            )
+        if scale in by_scale:
+            lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+def format_timing_table(rows: list[tuple[str, str, dict[str, float]]], title: str) -> str:
+    """Timing table: (scale, query category) rows x method columns (ms)."""
+    lines = [title, "=" * len(title)]
+    if not rows:
+        return "\n".join(lines)
+    methods = list(rows[0][2].keys())
+    header = f"{'Dataset':8} {'Query':9} " + " ".join(f"{m.upper():>8}" for m in methods)
+    lines.append(header)
+    lines.append("-" * len(header))
+    last_scale = None
+    for scale, category, times in rows:
+        label = scale if scale != last_scale else ""
+        last_scale = scale
+        cells = " ".join(f"{times[m]:8.1f}" for m in methods)
+        lines.append(f"{label:8} {category:9} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Query-latency experiment: regenerates Table 4 and Figure 3.
+
+For every dataset scale and query-length category, each method's
+per-query wall-clock search latency is measured over warm indexes
+(indexing/time-to-build is excluded, as in the paper).  Table 4
+compares CTS vs ANNS; Figure 3 covers all methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.corpus import Corpus, DatasetScale
+from repro.data.queries import QueryCategory
+from repro.eval.splits import train_test_split_pairs
+from repro.eval.timing import TimingReport, time_queries
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.quality import make_corpus, prepare_methods
+
+__all__ = ["TimingCell", "run_timing_experiment"]
+
+_CATEGORY_LABELS = {
+    QueryCategory.LONG: "Long",
+    QueryCategory.MODERATE: "Moderate",
+    QueryCategory.SHORT: "Short",
+}
+
+
+@dataclass
+class TimingCell:
+    """Latency of one method at one (scale, query category)."""
+
+    scale: DatasetScale
+    category: QueryCategory
+    method: str
+    report: TimingReport
+
+
+def run_timing_experiment(
+    config: ExperimentConfig,
+    scales: tuple[DatasetScale, ...] = (
+        DatasetScale.LARGE,
+        DatasetScale.MODERATE,
+        DatasetScale.SMALL,
+    ),
+    categories: tuple[QueryCategory, ...] = (
+        QueryCategory.LONG,
+        QueryCategory.MODERATE,
+        QueryCategory.SHORT,
+    ),
+    queries_per_category: int = 5,
+    corpus: Corpus | None = None,
+) -> list[TimingCell]:
+    """Measure per-query latency for every (scale, category, method)."""
+    corpus = corpus if corpus is not None else make_corpus(config)
+    train_qrels, _ = train_test_split_pairs(
+        corpus.qrels, train_fraction=config.train_fraction, seed=config.seed
+    )
+    cells: list[TimingCell] = []
+    for scale in scales:
+        scale_ids = {corpus.qualified_id(r) for r in corpus.partition_relations(scale)}
+        searchers = prepare_methods(corpus, scale, config, train_qrels.restrict_to(scale_ids))
+        for category in categories:
+            queries = corpus.query_texts(category)[:queries_per_category]
+            for name, searcher in searchers.items():
+                report = time_queries(
+                    searcher, queries, k=config.k, warmup=1, method_name=name
+                )
+                cells.append(
+                    TimingCell(scale=scale, category=category, method=name, report=report)
+                )
+    return cells
+
+
+def timing_rows(
+    cells: list[TimingCell], methods: tuple[str, ...]
+) -> list[tuple[str, str, dict[str, float]]]:
+    """Reshape cells into (scale, category, {method: mean_ms}) rows."""
+    rows: dict[tuple[str, str], dict[str, float]] = {}
+    scale_order = {"LD": 0, "MD": 1, "SD": 2}
+    cat_order = {"Long": 0, "Moderate": 1, "Short": 2}
+    for cell in cells:
+        if cell.method not in methods:
+            continue
+        key = (cell.scale.value, _CATEGORY_LABELS[cell.category])
+        rows.setdefault(key, {})[cell.method] = cell.report.mean_ms
+    ordered = sorted(rows.items(), key=lambda kv: (scale_order[kv[0][0]], cat_order[kv[0][1]]))
+    return [(scale, category, times) for (scale, category), times in ordered]

@@ -1,0 +1,27 @@
+"""Numeric kernels shared across the library: distances, top-k, k-means."""
+
+from repro.linalg.distances import (
+    Metric,
+    cosine_similarity,
+    dot_similarity,
+    euclidean_distance,
+    normalize_rows,
+    pairwise_distance,
+    pairwise_similarity,
+    similarity,
+)
+from repro.linalg.kmeans import KMeans
+from repro.linalg.topk import top_k_indices
+
+__all__ = [
+    "KMeans",
+    "Metric",
+    "cosine_similarity",
+    "dot_similarity",
+    "euclidean_distance",
+    "normalize_rows",
+    "pairwise_distance",
+    "pairwise_similarity",
+    "similarity",
+    "top_k_indices",
+]

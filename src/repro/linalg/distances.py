@@ -1,0 +1,134 @@
+"""Vectorized similarity and distance kernels.
+
+All public functions accept 1-D vectors or 2-D row-matrices of float
+dtype and are pure numpy — no Python-level loops over points.  The
+``Metric`` enum is the single source of truth for which metrics the
+vector database and ANN indexes support, mirroring Qdrant's cosine /
+dot / euclidean options mentioned in the paper (Sec 4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+
+__all__ = [
+    "Metric",
+    "cosine_similarity",
+    "dot_similarity",
+    "euclidean_distance",
+    "normalize_rows",
+    "pairwise_distance",
+    "pairwise_similarity",
+    "similarity",
+]
+
+_EPS = 1e-12
+
+
+class Metric(str, enum.Enum):
+    """Similarity metric used by indexes and the vector database."""
+
+    COSINE = "cosine"
+    DOT = "dot"
+    EUCLIDEAN = "euclidean"
+
+    @property
+    def higher_is_better(self) -> bool:
+        """Whether larger values mean more similar (False for euclidean)."""
+        return self is not Metric.EUCLIDEAN
+
+
+def _as_2d(array: np.ndarray) -> np.ndarray:
+    array = np.asarray(array, dtype=np.float64)
+    if array.ndim == 1:
+        return array[np.newaxis, :]
+    if array.ndim != 2:
+        raise DimensionMismatchError(f"expected 1-D or 2-D array, got ndim={array.ndim}")
+    return array
+
+
+def _check_dims(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape[-1] != b.shape[-1]:
+        raise DimensionMismatchError(
+            f"dimension mismatch: {a.shape[-1]} vs {b.shape[-1]}"
+        )
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalize each row; zero rows stay zero."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim == 1:
+        norm = np.linalg.norm(matrix)
+        return matrix / norm if norm > _EPS else matrix.copy()
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms = np.where(norms > _EPS, norms, 1.0)
+    return matrix / norms
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Cosine similarity between rows of ``a`` and rows of ``b``.
+
+    Returns an ``(len(a), len(b))`` matrix; 1-D inputs are treated as a
+    single row, so two vectors yield a ``(1, 1)`` matrix — use
+    :func:`similarity` for a scalar convenience wrapper.
+    """
+    a2, b2 = _as_2d(a), _as_2d(b)
+    _check_dims(a2, b2)
+    return normalize_rows(a2) @ normalize_rows(b2).T
+
+
+def dot_similarity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Raw inner-product similarity matrix between rows of a and b."""
+    a2, b2 = _as_2d(a), _as_2d(b)
+    _check_dims(a2, b2)
+    return a2 @ b2.T
+
+
+def euclidean_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distance matrix between rows of a and b.
+
+    Uses the expanded ``||x-y||^2 = ||x||^2 + ||y||^2 - 2<x,y>`` form
+    with clipping so tiny negative round-off never reaches sqrt.
+    """
+    a2, b2 = _as_2d(a), _as_2d(b)
+    _check_dims(a2, b2)
+    sq = (
+        np.sum(a2**2, axis=1)[:, np.newaxis]
+        + np.sum(b2**2, axis=1)[np.newaxis, :]
+        - 2.0 * (a2 @ b2.T)
+    )
+    return np.sqrt(np.clip(sq, 0.0, None))
+
+
+def pairwise_similarity(a: np.ndarray, b: np.ndarray, metric: Metric) -> np.ndarray:
+    """Similarity matrix under ``metric``; euclidean is negated distance.
+
+    Negating euclidean distance gives a score where, like cosine and
+    dot, *larger is more similar*, which lets ranking code treat all
+    metrics uniformly.
+    """
+    if metric is Metric.COSINE:
+        return cosine_similarity(a, b)
+    if metric is Metric.DOT:
+        return dot_similarity(a, b)
+    return -euclidean_distance(a, b)
+
+
+def pairwise_distance(a: np.ndarray, b: np.ndarray, metric: Metric) -> np.ndarray:
+    """Distance matrix under ``metric`` (smaller is closer)."""
+    if metric is Metric.EUCLIDEAN:
+        return euclidean_distance(a, b)
+    return 1.0 - pairwise_similarity(a, b, metric)
+
+
+def similarity(a: np.ndarray, b: np.ndarray, metric: Metric = Metric.COSINE) -> float:
+    """Scalar similarity between two single vectors."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 1 or b.ndim != 1:
+        raise DimensionMismatchError("similarity() expects two 1-D vectors")
+    return float(pairwise_similarity(a, b, metric)[0, 0])

@@ -1,0 +1,138 @@
+"""Lloyd's k-means with k-means++ initialization.
+
+Used as the codebook learner for Product Quantization and as a generic
+clustering utility.  Written against plain numpy (sklearn is not
+available in this environment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.linalg.distances import euclidean_distance
+
+__all__ = ["KMeans"]
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding and empty-cluster repair.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids to fit.
+    max_iter:
+        Maximum Lloyd iterations.
+    tol:
+        Convergence threshold on total centroid movement.
+    seed:
+        Seed for the internal random generator; fitting is fully
+        deterministic for a given seed and input.
+
+    Attributes
+    ----------
+    centroids_:
+        ``(n_clusters, dim)`` array after :meth:`fit`.
+    labels_:
+        Training-point assignments after :meth:`fit`.
+    inertia_:
+        Final sum of squared distances to assigned centroids.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 50,
+        tol: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ConfigurationError("n_clusters must be >= 1")
+        if max_iter < 1:
+            raise ConfigurationError("max_iter must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centroids_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float | None = None
+
+    # -- fitting ------------------------------------------------------
+
+    def fit(self, points: np.ndarray) -> "KMeans":
+        """Fit centroids to ``points`` of shape ``(n, dim)``."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ConfigurationError("points must be a 2-D array")
+        n = points.shape[0]
+        if n == 0:
+            raise ConfigurationError("cannot fit k-means on an empty array")
+        k = min(self.n_clusters, n)
+        rng = np.random.default_rng(self.seed)
+
+        centroids = self._kmeans_pp_init(points, k, rng)
+        labels = np.zeros(n, dtype=np.intp)
+        for _ in range(self.max_iter):
+            dists = euclidean_distance(points, centroids)
+            labels = np.argmin(dists, axis=1)
+            new_centroids = centroids.copy()
+            for j in range(k):
+                members = points[labels == j]
+                if len(members) > 0:
+                    new_centroids[j] = members.mean(axis=0)
+                else:
+                    # Empty-cluster repair: re-seed at the point farthest
+                    # from its assigned centroid.
+                    farthest = int(np.argmax(dists[np.arange(n), labels]))
+                    new_centroids[j] = points[farthest]
+            shift = float(np.linalg.norm(new_centroids - centroids))
+            centroids = new_centroids
+            if shift <= self.tol:
+                break
+
+        dists = euclidean_distance(points, centroids)
+        labels = np.argmin(dists, axis=1)
+        self.centroids_ = centroids
+        self.labels_ = labels
+        self.inertia_ = float(np.sum(dists[np.arange(n), labels] ** 2))
+        return self
+
+    @staticmethod
+    def _kmeans_pp_init(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centroids apart."""
+        n = points.shape[0]
+        centroids = np.empty((k, points.shape[1]), dtype=np.float64)
+        first = int(rng.integers(n))
+        centroids[0] = points[first]
+        closest_sq = euclidean_distance(points, centroids[:1])[:, 0] ** 2
+        for j in range(1, k):
+            total = float(closest_sq.sum())
+            if total <= 0.0:
+                # All remaining points coincide with a centroid; pick uniformly.
+                choice = int(rng.integers(n))
+            else:
+                choice = int(rng.choice(n, p=closest_sq / total))
+            centroids[j] = points[choice]
+            new_sq = euclidean_distance(points, centroids[j : j + 1])[:, 0] ** 2
+            closest_sq = np.minimum(closest_sq, new_sq)
+        return centroids
+
+    # -- inference ----------------------------------------------------
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Assign each row of ``points`` to its nearest centroid."""
+        if self.centroids_ is None:
+            raise NotFittedError("KMeans.predict called before fit")
+        points = np.asarray(points, dtype=np.float64)
+        squeeze = points.ndim == 1
+        dists = euclidean_distance(points, self.centroids_)
+        labels = np.argmin(dists, axis=1)
+        return labels[0] if squeeze else labels
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        """Fit on ``points`` and return their assignments."""
+        self.fit(points)
+        assert self.labels_ is not None
+        return self.labels_

@@ -1,0 +1,31 @@
+"""Top-k selection helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_k_indices"]
+
+
+def top_k_indices(scores: np.ndarray, k: int, largest: bool = True) -> np.ndarray:
+    """Indices of the k best entries of a 1-D score array, best first.
+
+    Uses ``argpartition`` for O(n + k log k) selection instead of a full
+    sort.  ``k`` larger than the array is clamped.  Ties are broken by
+    index order (stable), which keeps rankings deterministic.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim != 1:
+        raise ValueError(f"expected 1-D scores, got ndim={scores.ndim}")
+    n = scores.shape[0]
+    if k <= 0 or n == 0:
+        return np.empty(0, dtype=np.intp)
+    k = min(k, n)
+    keys = -scores if largest else scores
+    if k == n:
+        candidate = np.arange(n)
+    else:
+        candidate = np.argpartition(keys, k - 1)[:k]
+    # Stable sort of the candidates: primary key score, secondary index.
+    order = np.lexsort((candidate, keys[candidate]))
+    return candidate[order]

@@ -1,0 +1,33 @@
+"""Text processing substrate: tokenization, vocabularies and the concept lexicon.
+
+This package provides the low-level text machinery that the embedding
+layer builds on:
+
+* :mod:`repro.text.tokenize` — deterministic tokenizer and normalization.
+* :mod:`repro.text.vocab` — corpus vocabulary with document frequencies
+  and IDF statistics.
+* :mod:`repro.text.lexicon` — the concept lexicon, a synonym/concept
+  graph that supplies the distributional knowledge a pretrained
+  sentence transformer would otherwise carry.
+"""
+
+from repro.text.lexicon import ConceptLexicon, default_lexicon
+from repro.text.tokenize import (
+    Tokenizer,
+    char_ngrams,
+    is_numeric_token,
+    normalize_text,
+    sentence_split,
+)
+from repro.text.vocab import Vocabulary
+
+__all__ = [
+    "ConceptLexicon",
+    "Tokenizer",
+    "Vocabulary",
+    "char_ngrams",
+    "default_lexicon",
+    "is_numeric_token",
+    "normalize_text",
+    "sentence_split",
+]

@@ -1,0 +1,123 @@
+"""Corpus vocabulary with document-frequency and IDF statistics.
+
+The vocabulary is the shared bookkeeping structure used by the trained
+co-occurrence encoder, the language-model baselines (MDR) and the
+hand-crafted feature extractors (WS/TCS).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Token <-> id mapping with term and document frequencies.
+
+    Build incrementally with :meth:`add_document`, or in one shot with
+    :meth:`from_documents`.  Lookup of unknown tokens returns ``None``
+    rather than raising, because encoders routinely probe for tokens
+    that were never seen during fitting.
+    """
+
+    def __init__(self) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        self._term_freq: Counter[str] = Counter()
+        self._doc_freq: Counter[str] = Counter()
+        self._num_documents = 0
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_documents(cls, documents: Iterable[list[str]]) -> "Vocabulary":
+        """Build a vocabulary from an iterable of token lists."""
+        vocab = cls()
+        for tokens in documents:
+            vocab.add_document(tokens)
+        return vocab
+
+    def add_document(self, tokens: list[str]) -> None:
+        """Register one document's tokens in the vocabulary."""
+        self._num_documents += 1
+        self._term_freq.update(tokens)
+        self._doc_freq.update(set(tokens))
+        for token in tokens:
+            if token not in self._token_to_id:
+                self._token_to_id[token] = len(self._id_to_token)
+                self._id_to_token.append(token)
+
+    # -- lookup -------------------------------------------------------
+
+    def id_of(self, token: str) -> int | None:
+        """Return the integer id of a token, or None if unseen."""
+        return self._token_to_id.get(token)
+
+    def token_of(self, token_id: int) -> str:
+        """Return the token for an id (raises IndexError if out of range)."""
+        return self._id_to_token[token_id]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __iter__(self):
+        return iter(self._id_to_token)
+
+    # -- statistics ---------------------------------------------------
+
+    @property
+    def num_documents(self) -> int:
+        """Number of documents registered so far."""
+        return self._num_documents
+
+    def term_frequency(self, token: str) -> int:
+        """Total corpus occurrences of a token."""
+        return self._term_freq[token]
+
+    def document_frequency(self, token: str) -> int:
+        """Number of documents containing a token."""
+        return self._doc_freq[token]
+
+    def idf(self, token: str, smooth: float = 1.0) -> float:
+        """Smoothed inverse document frequency.
+
+        Uses the BM25-style formulation
+        ``log((N + smooth) / (df + smooth)) + 1`` which stays positive
+        for every token, including ones that appear in all documents.
+        """
+        df = self._doc_freq.get(token, 0)
+        return math.log((self._num_documents + smooth) / (df + smooth)) + 1.0
+
+    def total_tokens(self) -> int:
+        """Total token count across the corpus (for LM smoothing)."""
+        return sum(self._term_freq.values())
+
+    def most_common(self, n: int | None = None) -> list[tuple[str, int]]:
+        """Most frequent tokens with their corpus counts."""
+        return self._term_freq.most_common(n)
+
+    def prune(self, min_term_freq: int = 1, max_size: int | None = None) -> "Vocabulary":
+        """Return a new vocabulary keeping only frequent tokens.
+
+        Pruning re-assigns ids densely, so downstream matrices built on
+        the pruned vocabulary stay compact.
+        """
+        kept = [
+            (token, freq)
+            for token, freq in self._term_freq.most_common(max_size)
+            if freq >= min_term_freq
+        ]
+        pruned = Vocabulary()
+        pruned._num_documents = self._num_documents
+        for token, freq in kept:
+            pruned._token_to_id[token] = len(pruned._id_to_token)
+            pruned._id_to_token.append(token)
+            pruned._term_freq[token] = freq
+            pruned._doc_freq[token] = self._doc_freq[token]
+        return pruned

@@ -1,0 +1,258 @@
+"""A named collection of points: vectors + payload metadata.
+
+The unit of storage mirrors Qdrant: a *point* has an id, a vector and a
+JSON-like payload.  Search supports payload filters; when an ANN index
+is attached, filtered searches over-fetch from the index and post-filter
+(the standard approach for graph indexes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.ann.base import VectorIndex
+from repro.errors import (
+    CollectionError,
+    DimensionMismatchError,
+    PointNotFoundError,
+)
+from repro.linalg.distances import Metric, pairwise_similarity
+from repro.linalg.topk import top_k_indices
+from repro.vectordb.filters import Filter
+from repro.vectordb.index import IndexKind, make_index
+
+__all__ = ["Point", "ScoredPoint", "Collection"]
+
+
+@dataclass(frozen=True)
+class Point:
+    """A stored point: id, vector, payload."""
+
+    id: int | str
+    vector: np.ndarray
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ScoredPoint:
+    """A search result: the point plus its similarity score."""
+
+    id: int | str
+    score: float
+    payload: dict[str, Any]
+    vector: np.ndarray | None = None
+
+
+class Collection:
+    """A growable set of points with exact and ANN search.
+
+    Parameters
+    ----------
+    name:
+        Collection name (unique within a database).
+    dim:
+        Vector dimensionality; enforced on every upsert.
+    metric:
+        Similarity metric used by searches.
+    """
+
+    def __init__(self, name: str, dim: int, metric: Metric = Metric.COSINE):
+        if dim < 1:
+            raise CollectionError("dim must be >= 1")
+        self.name = name
+        self.dim = dim
+        self.metric = metric
+        self._ids: list[int | str] = []
+        self._id_to_row: dict[int | str, int] = {}
+        self._vectors = np.empty((0, dim), dtype=np.float64)
+        self._payloads: list[dict[str, Any]] = []
+        self._index: VectorIndex | None = None
+        self._index_kind: IndexKind | None = None
+        self._index_stale = False
+
+    # -- mutation --------------------------------------------------------
+
+    def upsert(self, points: list[Point]) -> None:
+        """Insert new points or overwrite existing ids."""
+        fresh_vectors: list[np.ndarray] = []
+        for point in points:
+            vector = np.asarray(point.vector, dtype=np.float64).ravel()
+            if vector.shape[0] != self.dim:
+                raise DimensionMismatchError(
+                    f"point {point.id!r}: dim {vector.shape[0]} != collection dim {self.dim}"
+                )
+            row = self._id_to_row.get(point.id)
+            if row is not None:
+                self._vectors[row] = vector
+                self._payloads[row] = dict(point.payload)
+            else:
+                self._id_to_row[point.id] = len(self._ids)
+                self._ids.append(point.id)
+                self._payloads.append(dict(point.payload))
+                fresh_vectors.append(vector)
+        if fresh_vectors:
+            self._vectors = np.vstack([self._vectors, np.vstack(fresh_vectors)])
+        if points:
+            self._index_stale = True
+
+    def delete(self, ids: list[int | str]) -> int:
+        """Delete points by id; returns how many existed."""
+        to_drop = {i for i in ids if i in self._id_to_row}
+        if not to_drop:
+            return 0
+        keep = [row for row, pid in enumerate(self._ids) if pid not in to_drop]
+        self._vectors = self._vectors[keep]
+        self._ids = [self._ids[row] for row in keep]
+        self._payloads = [self._payloads[row] for row in keep]
+        self._id_to_row = {pid: row for row, pid in enumerate(self._ids)}
+        self._index_stale = True
+        return len(to_drop)
+
+    # -- access ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, point_id: int | str) -> bool:
+        return point_id in self._id_to_row
+
+    def get(self, point_id: int | str) -> Point:
+        """Fetch one point by id."""
+        row = self._id_to_row.get(point_id)
+        if row is None:
+            raise PointNotFoundError(f"{point_id!r} not in collection {self.name!r}")
+        return Point(point_id, self._vectors[row].copy(), dict(self._payloads[row]))
+
+    def scroll(self, filter: Filter | None = None) -> list[Point]:
+        """All points (optionally filtered), in insertion order."""
+        out = []
+        for row, pid in enumerate(self._ids):
+            if filter is None or filter.test(self._payloads[row]):
+                out.append(Point(pid, self._vectors[row].copy(), dict(self._payloads[row])))
+        return out
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """Read-only view of the raw vector matrix."""
+        view = self._vectors.view()
+        view.flags.writeable = False
+        return view
+
+    # -- indexing ---------------------------------------------------------
+
+    def create_index(self, kind: IndexKind | str = IndexKind.HNSW, **params) -> None:
+        """Attach and build an ANN index over current contents."""
+        self._index = make_index(kind, self.metric, **params)
+        self._index_kind = IndexKind(kind)
+        if len(self) > 0:
+            self._index.build(self._vectors)
+        self._index_stale = False
+
+    @property
+    def index_kind(self) -> IndexKind | None:
+        return self._index_kind
+
+    def _ensure_index_fresh(self) -> None:
+        if self._index is not None and self._index_stale:
+            if len(self) > 0:
+                self._index.build(self._vectors)
+            self._index_stale = False
+
+    # -- search ------------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        filter: Filter | None = None,
+        with_vectors: bool = False,
+        ef: int | None = None,
+        rescore: bool = False,
+    ) -> list[ScoredPoint]:
+        """Top-k points by similarity to ``query``.
+
+        With an attached ANN index and a filter, the index is asked for
+        an over-fetched candidate set which is then post-filtered; exact
+        search applies the filter before scoring.
+
+        ``rescore=True`` adds a refine stage for lossy (PQ-compressed)
+        indexes: the index's candidates are re-scored against the
+        stored full-precision vectors and re-sorted, the standard
+        two-stage "ADC then refine" pipeline.
+        """
+        if len(self) == 0:
+            return []
+        query = np.asarray(query, dtype=np.float64).ravel()
+        if query.shape[0] != self.dim:
+            raise DimensionMismatchError(
+                f"query dim {query.shape[0]} != collection dim {self.dim}"
+            )
+        if self._index is not None:
+            return self._search_indexed(query, k, filter, with_vectors, ef, rescore)
+        return self._search_exact(query, k, filter, with_vectors)
+
+    def _search_exact(
+        self,
+        query: np.ndarray,
+        k: int,
+        filter: Filter | None,
+        with_vectors: bool,
+    ) -> list[ScoredPoint]:
+        if filter is not None:
+            rows = [r for r in range(len(self)) if filter.test(self._payloads[r])]
+            if not rows:
+                return []
+            rows_arr = np.asarray(rows, dtype=np.intp)
+            matrix = self._vectors[rows_arr]
+        else:
+            rows_arr = np.arange(len(self), dtype=np.intp)
+            matrix = self._vectors
+        scores = pairwise_similarity(query, matrix, self.metric)[0]
+        best = top_k_indices(scores, k)
+        return [self._scored(int(rows_arr[i]), float(scores[i]), with_vectors) for i in best]
+
+    def _search_indexed(
+        self,
+        query: np.ndarray,
+        k: int,
+        filter: Filter | None,
+        with_vectors: bool,
+        ef: int | None,
+        rescore: bool = False,
+    ) -> list[ScoredPoint]:
+        assert self._index is not None
+        self._ensure_index_fresh()
+        fetch = k if filter is None else max(4 * k, 32)
+        if rescore:
+            fetch = max(fetch, int(1.5 * k))  # headroom for re-sorting
+        kwargs = {"ef": ef} if ef is not None else {}
+        try:
+            hits = self._index.search(query, fetch, **kwargs)
+        except TypeError:  # index without ef support
+            hits = self._index.search(query, fetch)
+        if rescore and hits:
+            rows = np.asarray([hit.index for hit in hits], dtype=np.intp)
+            exact = pairwise_similarity(query, self._vectors[rows], self.metric)[0]
+            order = np.argsort(-exact, kind="stable")
+            hits = [
+                type(hits[0])(int(rows[i]), float(exact[i])) for i in order
+            ]
+        out: list[ScoredPoint] = []
+        for hit in hits:
+            if filter is not None and not filter.test(self._payloads[hit.index]):
+                continue
+            out.append(self._scored(hit.index, hit.score, with_vectors))
+            if len(out) >= k:
+                break
+        return out
+
+    def _scored(self, row: int, score: float, with_vectors: bool) -> ScoredPoint:
+        return ScoredPoint(
+            id=self._ids[row],
+            score=score,
+            payload=dict(self._payloads[row]),
+            vector=self._vectors[row].copy() if with_vectors else None,
+        )

@@ -1,0 +1,115 @@
+"""The vector database: named collections plus snapshot persistence."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CollectionExistsError, CollectionNotFoundError
+from repro.linalg.distances import Metric
+from repro.vectordb.collection import Collection, Point
+
+__all__ = ["VectorDatabase"]
+
+_MANIFEST = "manifest.json"
+
+
+class VectorDatabase:
+    """An in-process, multi-collection vector store.
+
+    Collections are created with :meth:`create_collection`, addressed by
+    name, and can be persisted to / restored from a snapshot directory
+    (vectors as ``.npz``, payloads and config as JSON).
+    """
+
+    def __init__(self) -> None:
+        self._collections: dict[str, Collection] = {}
+
+    # -- collection management -------------------------------------------
+
+    def create_collection(
+        self, name: str, dim: int, metric: Metric = Metric.COSINE
+    ) -> Collection:
+        """Create a new named collection."""
+        if name in self._collections:
+            raise CollectionExistsError(f"collection {name!r} already exists")
+        collection = Collection(name, dim, metric)
+        self._collections[name] = collection
+        return collection
+
+    def get_collection(self, name: str) -> Collection:
+        """Fetch a collection by name."""
+        collection = self._collections.get(name)
+        if collection is None:
+            raise CollectionNotFoundError(f"no collection named {name!r}")
+        return collection
+
+    def drop_collection(self, name: str) -> None:
+        """Delete a collection and its contents."""
+        if name not in self._collections:
+            raise CollectionNotFoundError(f"no collection named {name!r}")
+        del self._collections[name]
+
+    def list_collections(self) -> list[str]:
+        """Names of all collections, sorted."""
+        return sorted(self._collections)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._collections
+
+    def __len__(self) -> int:
+        return len(self._collections)
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        """Snapshot every collection into ``directory``.
+
+        Layout: ``manifest.json`` plus one ``<name>.npz`` (vectors) and
+        ``<name>.payloads.json`` (ids + payloads) per collection.
+        Attached ANN indexes are not persisted — they are cheap to
+        rebuild relative to re-embedding, and rebuilding keeps the
+        snapshot format independent of index internals.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {}
+        for name, collection in self._collections.items():
+            manifest[name] = {
+                "dim": collection.dim,
+                "metric": collection.metric.value,
+                "index": collection.index_kind.value if collection.index_kind else None,
+            }
+            np.savez_compressed(directory / f"{name}.npz", vectors=collection.vectors)
+            points = collection.scroll()
+            with open(directory / f"{name}.payloads.json", "w") as fh:
+                json.dump(
+                    [{"id": p.id, "payload": p.payload} for p in points], fh
+                )
+        with open(directory / _MANIFEST, "w") as fh:
+            json.dump(manifest, fh, indent=2)
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "VectorDatabase":
+        """Restore a database from a snapshot directory."""
+        directory = Path(directory)
+        with open(directory / _MANIFEST) as fh:
+            manifest = json.load(fh)
+        db = cls()
+        for name, info in manifest.items():
+            collection = db.create_collection(
+                name, dim=info["dim"], metric=Metric(info["metric"])
+            )
+            vectors = np.load(directory / f"{name}.npz")["vectors"]
+            with open(directory / f"{name}.payloads.json") as fh:
+                records = json.load(fh)
+            points = [
+                Point(rec["id"], vectors[row], rec["payload"])
+                for row, rec in enumerate(records)
+            ]
+            collection.upsert(points)
+            if info.get("index"):
+                collection.create_index(info["index"])
+        return db

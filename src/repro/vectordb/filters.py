@@ -1,0 +1,110 @@
+"""Payload filter DSL, modelled on Qdrant's must/should/must_not filters.
+
+A :class:`Filter` combines :class:`FieldCondition` objects; each
+condition tests one payload key against a match clause
+(:class:`MatchValue`, :class:`MatchAny`) or a numeric :class:`Range`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["MatchValue", "MatchAny", "Range", "FieldCondition", "Filter"]
+
+
+@dataclass(frozen=True)
+class MatchValue:
+    """Payload value must equal ``value`` exactly."""
+
+    value: Any
+
+    def test(self, payload_value: Any) -> bool:
+        return payload_value == self.value
+
+
+@dataclass(frozen=True)
+class MatchAny:
+    """Payload value must be one of ``any`` (like SQL ``IN``)."""
+
+    any: tuple
+
+    def __init__(self, any: Any):  # noqa: A002 - mirrors Qdrant naming
+        object.__setattr__(self, "any", tuple(any))
+
+    def test(self, payload_value: Any) -> bool:
+        return payload_value in self.any
+
+
+@dataclass(frozen=True)
+class Range:
+    """Numeric range test; any bound may be omitted."""
+
+    gte: float | None = None
+    gt: float | None = None
+    lte: float | None = None
+    lt: float | None = None
+
+    def test(self, payload_value: Any) -> bool:
+        if not isinstance(payload_value, (int, float)):
+            return False
+        if self.gte is not None and not payload_value >= self.gte:
+            return False
+        if self.gt is not None and not payload_value > self.gt:
+            return False
+        if self.lte is not None and not payload_value <= self.lte:
+            return False
+        if self.lt is not None and not payload_value < self.lt:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class FieldCondition:
+    """One payload-key test.
+
+    Exactly one of ``match`` / ``range`` must be provided.
+    """
+
+    key: str
+    match: MatchValue | MatchAny | None = None
+    range: Range | None = None
+
+    def __post_init__(self) -> None:
+        if (self.match is None) == (self.range is None):
+            raise ValueError("FieldCondition needs exactly one of match/range")
+
+    def test(self, payload: dict[str, Any]) -> bool:
+        if self.key not in payload:
+            return False
+        clause = self.match if self.match is not None else self.range
+        assert clause is not None
+        return clause.test(payload[self.key])
+
+
+@dataclass(frozen=True)
+class Filter:
+    """Boolean combination of conditions (may nest other Filters).
+
+    * all ``must`` entries hold, and
+    * at least one ``should`` entry holds (if any are given), and
+    * no ``must_not`` entry holds.
+    """
+
+    must: tuple = field(default_factory=tuple)
+    should: tuple = field(default_factory=tuple)
+    must_not: tuple = field(default_factory=tuple)
+
+    def __init__(self, must=(), should=(), must_not=()):
+        object.__setattr__(self, "must", tuple(must))
+        object.__setattr__(self, "should", tuple(should))
+        object.__setattr__(self, "must_not", tuple(must_not))
+
+    def test(self, payload: dict[str, Any]) -> bool:
+        if any(cond.test(payload) for cond in self.must_not):
+            return False
+        if not all(cond.test(payload) for cond in self.must):
+            return False
+        if self.should and not any(cond.test(payload) for cond in self.should):
+            return False
+        return True

@@ -1,0 +1,109 @@
+"""Index configurations pluggable into a collection.
+
+``IndexKind`` names the supported configurations; ``HNSWPQIndex`` is
+the paper's combination (Sec 4.2): vectors are compressed with Product
+Quantization and navigated with an HNSW graph.  The graph is built over
+the PQ *reconstructions* (so graph topology reflects what the
+compressed representation can distinguish) and query scores come from
+ADC lookup tables over the stored codes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.ann.base import SearchHit, VectorIndex
+from repro.ann.bruteforce import BruteForceIndex
+from repro.ann.hnsw import HNSWIndex
+from repro.ann.ivf import IVFFlatIndex
+from repro.ann.pq import PQIndex, ProductQuantizer
+from repro.errors import ConfigurationError
+from repro.linalg.distances import Metric, normalize_rows
+
+__all__ = ["IndexKind", "HNSWPQIndex", "make_index"]
+
+
+class IndexKind(str, enum.Enum):
+    """Supported collection index configurations."""
+
+    EXACT = "exact"
+    HNSW = "hnsw"
+    PQ = "pq"
+    HNSW_PQ = "hnsw+pq"
+    IVF = "ivf"
+
+
+class HNSWPQIndex(VectorIndex):
+    """HNSW navigation over PQ-compressed vectors with ADC scoring."""
+
+    def __init__(
+        self,
+        metric: Metric = Metric.COSINE,
+        m: int = 16,
+        ef_construction: int = 100,
+        ef_search: int = 64,
+        n_subvectors: int = 8,
+        n_centroids: int = 256,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(metric)
+        self.quantizer = ProductQuantizer(n_subvectors, n_centroids, seed=seed)
+        self._graph = HNSWIndex(
+            metric=metric, m=m, ef_construction=ef_construction,
+            ef_search=ef_search, seed=seed,
+        )
+        self._codes = np.empty((0, n_subvectors), dtype=np.uint8)
+
+    @property
+    def size(self) -> int:
+        return self._codes.shape[0]
+
+    def build(self, vectors: np.ndarray) -> "HNSWPQIndex":
+        vectors = self._validate_build(vectors)
+        if self.metric is Metric.COSINE:
+            vectors = normalize_rows(vectors)
+        self.quantizer.fit(vectors)
+        self._codes = self.quantizer.encode(vectors)
+        reconstructed = self.quantizer.decode(self._codes)
+        self._graph.build(reconstructed)
+        return self
+
+    def search(self, query: np.ndarray, k: int, ef: int | None = None) -> list[SearchHit]:
+        query = self._validate_query(query)
+        if self.metric is Metric.COSINE:
+            query = normalize_rows(query)
+        # Over-fetch from the graph, then re-score candidates with ADC.
+        candidates = self._graph.search(query, max(2 * k, k + 8), ef=ef)
+        ids = np.array([hit.index for hit in candidates], dtype=np.intp)
+        if self.metric is Metric.EUCLIDEAN:
+            table = self.quantizer.adc_l2_table(query)
+            scores = -np.sqrt(
+                np.clip(self.quantizer.adc_scores(table, self._codes[ids]), 0, None)
+            )
+        else:
+            table = self.quantizer.adc_inner_product_table(query)
+            scores = self.quantizer.adc_scores(table, self._codes[ids])
+        order = np.argsort(-scores, kind="stable")[:k]
+        return [SearchHit(int(ids[i]), float(scores[i])) for i in order]
+
+
+def make_index(kind: IndexKind | str, metric: Metric, **params) -> VectorIndex:
+    """Factory for collection indexes.
+
+    ``params`` are forwarded to the chosen index constructor, so callers
+    can tune ``m``/``ef_search``/``n_subvectors`` etc. per collection.
+    """
+    kind = IndexKind(kind)
+    if kind is IndexKind.EXACT:
+        return BruteForceIndex(metric=metric)
+    if kind is IndexKind.HNSW:
+        return HNSWIndex(metric=metric, **params)
+    if kind is IndexKind.PQ:
+        return PQIndex(metric=metric, **params)
+    if kind is IndexKind.HNSW_PQ:
+        return HNSWPQIndex(metric=metric, **params)
+    if kind is IndexKind.IVF:
+        return IVFFlatIndex(metric=metric, **params)
+    raise ConfigurationError(f"unknown index kind: {kind}")

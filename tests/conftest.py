@@ -1,0 +1,81 @@
+"""Shared fixtures: small corpora, engines and encoders reused across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DiscoveryEngine
+from repro.data.covid import covid_federation
+from repro.datamodel.relation import Federation, Relation
+from repro.embedding.semantic import SemanticHashEncoder
+
+
+@pytest.fixture(scope="session")
+def encoder64() -> SemanticHashEncoder:
+    """A small shared encoder (64 dims keeps tests fast)."""
+    return SemanticHashEncoder(dim=64)
+
+
+@pytest.fixture(scope="session")
+def tiny_relations() -> list[Relation]:
+    """Three topically distinct relations plus captions."""
+    return [
+        Relation(
+            "vaccines",
+            ["Country", "Vaccine", "Year"],
+            [
+                ["germany", "comirnaty", "2021"],
+                ["france", "vaxzevria", "2021"],
+                ["spain", "coronavac", "2021"],
+            ],
+            caption="vaccination campaign europe",
+        ),
+        Relation(
+            "football",
+            ["Team", "Trophy", "Year"],
+            [
+                ["ajax", "league", "2021"],
+                ["psv", "cup", "2020"],
+            ],
+            caption="football league results",
+        ),
+        Relation(
+            "economy",
+            ["Country", "GDP", "Year"],
+            [
+                ["germany", "3806", "2020"],
+                ["france", "2603", "2020"],
+            ],
+            caption="gdp figures by country",
+        ),
+    ]
+
+
+@pytest.fixture(scope="session")
+def tiny_federation(tiny_relations) -> Federation:
+    return Federation.from_relations(tiny_relations)
+
+
+@pytest.fixture(scope="session")
+def covid_fed() -> Federation:
+    """The paper's Figure 1 federation with distractors."""
+    return covid_federation()
+
+
+@pytest.fixture(scope="session")
+def indexed_engine(covid_fed) -> DiscoveryEngine:
+    """An engine indexed over the COVID federation (shared: read-only)."""
+    engine = DiscoveryEngine(
+        dim=96,
+        method_params={
+            "cts": {"min_cluster_size": 4, "umap_neighbors": 5, "umap_epochs": 30},
+            "anns": {"n_subvectors": 8, "n_centroids": 16},
+        },
+    )
+    return engine.index(covid_fed)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,170 @@
+"""Tests for the five baseline retrieval methods."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASELINE_NAMES, make_baseline
+from repro.baselines.adh import AdHocTableRetrieval
+from repro.baselines.features import FEATURE_NAMES, LexicalFeatureExtractor
+from repro.baselines.tml import TableMeetsLLM
+from repro.errors import NotFittedError
+
+TRAIN_PAIRS = [
+    ("vaccination campaign europe", "vaccines/vaccines", 2),
+    ("vaccination campaign europe", "football/football", 0),
+    ("vaccination campaign europe", "economy/economy", 0),
+    ("football cup results", "football/football", 2),
+    ("football cup results", "vaccines/vaccines", 0),
+    ("gdp by country", "economy/economy", 2),
+    ("gdp by country", "football/football", 0),
+]
+
+
+@pytest.fixture(scope="module")
+def engine(tiny_federation):
+    from repro.core import DiscoveryEngine
+
+    return DiscoveryEngine(dim=96).index(tiny_federation)
+
+
+@pytest.fixture(scope="module", params=BASELINE_NAMES)
+def baseline(request, tiny_federation, engine):
+    method = make_baseline(request.param)
+    method.index_federation(tiny_federation, engine.embeddings)
+    if hasattr(method, "fit"):
+        method.fit(TRAIN_PAIRS)
+    return method
+
+
+class TestAllBaselines:
+    def test_search_returns_ranked_results(self, baseline):
+        result = baseline.search("vaccination campaign europe", k=3)
+        assert len(result) >= 1
+        scores = [m.score for m in result.matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_topical_query_ranks_right_table_first(self, baseline):
+        result = baseline.search("football cup results", k=3)
+        assert result.top().relation_id == "football/football"
+
+    def test_no_threshold_by_default(self, baseline):
+        # baseline scores may be negative (log-likelihoods); default h
+        # must not filter them out
+        result = baseline.search("gdp by country", k=3)
+        assert len(result) == 3
+
+    def test_unindexed_raises(self, baseline):
+        fresh = make_baseline(baseline.name)
+        with pytest.raises(NotFittedError):
+            fresh.search("x")
+
+
+class TestMakeBaseline:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_baseline("bogus")
+
+
+class TestLexicalFeatures:
+    def test_feature_matrix_shape(self, tiny_relations):
+        ex = LexicalFeatureExtractor().index(tiny_relations)
+        features = ex.features("vaccination europe")
+        assert features.shape == (3, len(FEATURE_NAMES))
+
+    def test_caption_overlap_detected(self, tiny_relations):
+        ex = LexicalFeatureExtractor().index(tiny_relations)
+        features = ex.features("football league")
+        cap_idx = FEATURE_NAMES.index("caption_overlap")
+        assert features[1, cap_idx] == 2  # both words in football caption
+        assert features[0, cap_idx] == 0
+
+    def test_exact_phrase_flag(self, tiny_relations):
+        ex = LexicalFeatureExtractor().index(tiny_relations)
+        features = ex.features("football league")
+        phrase_idx = FEATURE_NAMES.index("caption_exact_phrase")
+        assert features[1, phrase_idx] == 1.0
+
+    def test_numeric_fraction_feature(self, tiny_relations):
+        ex = LexicalFeatureExtractor().index(tiny_relations)
+        features = ex.features("anything")
+        frac_idx = FEATURE_NAMES.index("numeric_fraction")
+        # economy table has GDP + Year numeric columns
+        assert features[2, frac_idx] > features[1, frac_idx]
+
+
+class TestMDR:
+    def test_weight_fitting_improves_or_keeps_map(self, tiny_federation, engine):
+        mdr = make_baseline("mdr")
+        mdr.index_federation(tiny_federation, engine.embeddings)
+        weights_before = dict(mdr.field_weights)
+        mdr.fit(TRAIN_PAIRS)
+        assert set(mdr.field_weights) == set(weights_before)
+        assert sum(mdr.field_weights.values()) == pytest.approx(1.0)
+
+
+class TestWS:
+    def test_untrained_fallback_works(self, tiny_federation, engine):
+        ws = make_baseline("ws")
+        ws.index_federation(tiny_federation, engine.embeddings)
+        assert not ws.is_trained
+        assert ws.search("football league", k=1).top().relation_id == "football/football"
+
+    def test_training_flag(self, tiny_federation, engine):
+        ws = make_baseline("ws")
+        ws.index_federation(tiny_federation, engine.embeddings)
+        ws.fit(TRAIN_PAIRS)
+        assert ws.is_trained
+
+
+class TestTCS:
+    def test_untrained_fallback(self, tiny_federation, engine):
+        tcs = make_baseline("tcs")
+        tcs.index_federation(tiny_federation, engine.embeddings)
+        assert not tcs.is_trained
+        assert len(tcs.search("football", k=2)) == 2
+
+
+class TestAdH:
+    def test_truncation_ratio_recorded(self, tiny_federation, engine):
+        adh = AdHocTableRetrieval(max_tokens=8)
+        adh.index_federation(tiny_federation, engine.embeddings)
+        assert all(0 < r <= 1 for r in adh.truncation_ratio_)
+        # 8-token budget must truncate our ~15-token tables
+        assert min(adh.truncation_ratio_) < 1.0
+
+    def test_selector_validation(self):
+        with pytest.raises(ValueError):
+            AdHocTableRetrieval(selectors=("bogus",))
+        with pytest.raises(ValueError):
+            AdHocTableRetrieval(max_tokens=2)
+
+    def test_larger_budget_keeps_more(self, tiny_federation, engine):
+        small = AdHocTableRetrieval(max_tokens=8)
+        small.index_federation(tiny_federation, engine.embeddings)
+        large = AdHocTableRetrieval(max_tokens=64)
+        large.index_federation(tiny_federation, engine.embeddings)
+        assert np.mean(large.truncation_ratio_) >= np.mean(small.truncation_ratio_)
+
+
+class TestTML:
+    def test_budget_shrinks_with_corpus(self, tiny_federation, engine):
+        tml = TableMeetsLLM(context_window=30, min_table_tokens=4, max_table_tokens=64)
+        tml.index_federation(tiny_federation, engine.embeddings)
+        assert tml.table_token_budget == 10  # 30 // 3 relations
+        assert tml.truncation_kept_ < 1.0
+
+    def test_budget_clamped(self, tiny_federation, engine):
+        tml = TableMeetsLLM(context_window=10_000, max_table_tokens=32)
+        tml.index_federation(tiny_federation, engine.embeddings)
+        assert tml.table_token_budget == 32
+
+    def test_serialization_format(self, tiny_relations):
+        text = TableMeetsLLM.serialize(tiny_relations[0])
+        assert "| Country | Vaccine | Year |" in text
+        assert text.startswith("vaccination campaign europe")
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TableMeetsLLM(context_window=2, min_table_tokens=8)
+        with pytest.raises(ValueError):
+            TableMeetsLLM(min_table_tokens=0)

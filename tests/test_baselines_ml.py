@@ -1,0 +1,188 @@
+"""Tests for the baseline ML substrates: linear regression, forests, LMs."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.forest import DecisionTreeRegressor, RandomForestRegressor
+from repro.baselines.langmodel import DirichletLanguageModel, FieldLanguageModels
+from repro.baselines.linear import LinearRegression
+from repro.errors import ConfigurationError, NotFittedError
+
+
+class TestLinearRegression:
+    def test_recovers_exact_linear_function(self, rng):
+        x = rng.standard_normal((100, 3))
+        y = x @ np.array([2.0, -1.0, 0.5]) + 3.0
+        model = LinearRegression(ridge=0.0).fit(x, y)
+        np.testing.assert_allclose(model.coef_, [2.0, -1.0, 0.5], atol=1e-8)
+        assert model.intercept_ == pytest.approx(3.0)
+        assert model.score(x, y) == pytest.approx(1.0)
+
+    def test_ridge_shrinks_collinear_weights(self, rng):
+        x1 = rng.standard_normal(50)
+        x = np.column_stack([x1, x1])  # perfectly collinear
+        y = x1 * 2
+        model = LinearRegression(ridge=1e-3).fit(x, y)
+        assert np.all(np.isfinite(model.coef_))
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict(np.zeros((1, 2)))
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            LinearRegression().fit(rng.standard_normal(5), np.zeros(5))
+        with pytest.raises(ConfigurationError):
+            LinearRegression().fit(rng.standard_normal((5, 2)), np.zeros(4))
+        with pytest.raises(ConfigurationError):
+            LinearRegression(ridge=-1)
+
+
+class TestDecisionTree:
+    def test_fits_step_function(self):
+        x = np.linspace(0, 1, 100)[:, None]
+        y = (x[:, 0] > 0.5).astype(float)
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        pred = tree.predict(np.array([[0.2], [0.8]]))
+        assert pred[0] == pytest.approx(0.0, abs=0.05)
+        assert pred[1] == pytest.approx(1.0, abs=0.05)
+
+    def test_constant_target_single_leaf(self):
+        x = np.random.default_rng(0).standard_normal((30, 2))
+        tree = DecisionTreeRegressor().fit(x, np.full(30, 7.0))
+        assert tree.depth() == 0
+        np.testing.assert_allclose(tree.predict(x), 7.0)
+
+    def test_depth_limit(self, rng):
+        x = rng.standard_normal((200, 3))
+        y = rng.standard_normal(200)
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_leaf=1).fit(x, y)
+        assert tree.depth() <= 3
+
+    def test_min_samples_leaf(self, rng):
+        x = rng.standard_normal((20, 1))
+        y = rng.standard_normal(20)
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=10).fit(x, y)
+        assert tree.depth() <= 1
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_reduces_training_error_vs_mean(self, rng):
+        x = rng.standard_normal((150, 4))
+        y = np.sin(x[:, 0] * 2) + 0.1 * rng.standard_normal(150)
+        tree = DecisionTreeRegressor(max_depth=6).fit(x, y)
+        mse_tree = float(np.mean((tree.predict(x) - y) ** 2))
+        mse_mean = float(np.var(y))
+        assert mse_tree < 0.5 * mse_mean
+
+
+class TestRandomForest:
+    def test_better_than_single_shallow_tree(self, rng):
+        x = rng.standard_normal((300, 5))
+        y = x[:, 0] * x[:, 1] + 0.05 * rng.standard_normal(300)
+        x_test = rng.standard_normal((100, 5))
+        y_test = x_test[:, 0] * x_test[:, 1]
+        forest = RandomForestRegressor(n_trees=20, max_depth=6, seed=0).fit(x, y)
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        mse_f = float(np.mean((forest.predict(x_test) - y_test) ** 2))
+        mse_t = float(np.mean((tree.predict(x_test) - y_test) ** 2))
+        assert mse_f < mse_t
+
+    def test_deterministic(self, rng):
+        x = rng.standard_normal((60, 3))
+        y = rng.standard_normal(60)
+        a = RandomForestRegressor(n_trees=5, seed=9).fit(x, y).predict(x)
+        b = RandomForestRegressor(n_trees=5, seed=9).fit(x, y).predict(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_max_features_sqrt(self):
+        forest = RandomForestRegressor(max_features="sqrt")
+        assert forest._resolve_max_features(16) == 4
+        assert RandomForestRegressor(max_features=None)._resolve_max_features(16) is None
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+        assert not RandomForestRegressor().is_fitted
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            RandomForestRegressor(n_trees=0)
+
+
+class TestDirichletLM:
+    DOCS = ["the cat sat on the mat", "dogs chase cats", "stock market crash"]
+
+    def test_matching_doc_scores_higher(self):
+        lm = DirichletLanguageModel(mu=10).fit(self.DOCS)
+        scores = lm.score_all("cat mat")
+        assert int(np.argmax(scores)) == 0
+
+    def test_scores_are_log_probs(self):
+        lm = DirichletLanguageModel(mu=10).fit(self.DOCS)
+        assert all(s < 0 for s in lm.score_all("cat"))
+
+    def test_empty_query_scores_zero(self):
+        lm = DirichletLanguageModel().fit(self.DOCS)
+        assert lm.score("", 0) == 0.0
+
+    def test_unseen_term_floor(self):
+        lm = DirichletLanguageModel(mu=10).fit(self.DOCS)
+        score = lm.score("xylophone", 0)
+        assert math.isfinite(score)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            DirichletLanguageModel().score("x", 0)
+
+    def test_invalid_mu(self):
+        with pytest.raises(ConfigurationError):
+            DirichletLanguageModel(mu=0)
+
+    @given(st.floats(1.0, 5000.0))
+    @settings(max_examples=10)
+    def test_smoothing_keeps_probabilities_valid(self, mu):
+        lm = DirichletLanguageModel(mu=mu).fit(self.DOCS)
+        assert all(math.isfinite(s) for s in lm.score_all("cat market zebra"))
+
+
+class TestFieldLanguageModels:
+    def test_field_weighting(self):
+        fields = {
+            "title": ["cats", "stocks"],
+            "body": ["the market is volatile", "felines sleep a lot"],
+        }
+        flm = FieldLanguageModels(["title", "body"], mu=10).fit(fields)
+        flm.set_weights({"title": 1.0, "body": 0.0})
+        title_only = flm.score_all("cats")
+        assert int(np.argmax(title_only)) == 0
+        flm.set_weights({"title": 0.0, "body": 1.0})
+        body_only = flm.score_all("market")
+        assert int(np.argmax(body_only)) == 0
+
+    def test_weights_normalized(self):
+        flm = FieldLanguageModels(["a", "b"])
+        flm.set_weights({"a": 2.0, "b": 2.0})
+        assert flm.weights == {"a": 0.5, "b": 0.5}
+
+    def test_misaligned_fields_rejected(self):
+        flm = FieldLanguageModels(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            flm.fit({"a": ["x"], "b": ["y", "z"]})
+        with pytest.raises(ConfigurationError):
+            flm.fit({"a": ["x"]})
+
+    def test_zero_mass_weights_rejected(self):
+        flm = FieldLanguageModels(["a"])
+        with pytest.raises(ConfigurationError):
+            flm.set_weights({"a": 0.0})
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            FieldLanguageModels(["a"]).score_all("x")

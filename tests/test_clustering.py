@@ -1,0 +1,224 @@
+"""Tests for MST, hierarchy, HDBSCAN and medoids."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import (
+    HDBSCAN,
+    SingleLinkageTree,
+    cluster_medoids,
+    condense_tree,
+    medoid_index,
+    mutual_reachability_mst,
+)
+from repro.clustering.hierarchy import compute_stability
+from repro.clustering.mst import core_distances
+from repro.errors import ConfigurationError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(11)
+    centers = np.array([[0, 0], [12, 0], [0, 12], [12, 12]], dtype=float)
+    points = np.vstack([c + rng.standard_normal((40, 2)) for c in centers])
+    # noise well away from the blobs so it is unambiguously outlying
+    noise = rng.uniform(25, 60, (12, 2)) * rng.choice([-1, 1], (12, 2))
+    labels = np.concatenate([np.repeat(np.arange(4), 40), np.full(12, -1)])
+    return np.vstack([points, noise]), labels
+
+
+class TestMST:
+    def test_edge_count(self, rng):
+        pts = rng.standard_normal((20, 3))
+        edges, weights = mutual_reachability_mst(pts, min_samples=3)
+        assert edges.shape == (19, 2)
+        assert weights.shape == (19,)
+
+    def test_spanning(self, rng):
+        import networkx as nx
+
+        pts = rng.standard_normal((25, 3))
+        edges, _ = mutual_reachability_mst(pts, min_samples=3)
+        g = nx.Graph(list(map(tuple, edges)))
+        assert nx.is_connected(g)
+        assert g.number_of_nodes() == 25
+
+    def test_weights_at_least_core_distances(self, rng):
+        pts = rng.standard_normal((30, 2))
+        core = core_distances(pts, 4)
+        edges, weights = mutual_reachability_mst(pts, min_samples=4)
+        for (u, v), w in zip(edges, weights):
+            assert w >= max(core[u], core[v]) - 1e-9
+
+    def test_min_weight_total(self, rng):
+        """Prim's result must match networkx's MST total weight."""
+        import networkx as nx
+
+        pts = rng.standard_normal((15, 2))
+        core = core_distances(pts, 2)
+        n = len(pts)
+        g = nx.Graph()
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = float(np.linalg.norm(pts[i] - pts[j]))
+                g.add_edge(i, j, weight=max(d, core[i], core[j]))
+        expected = sum(d["weight"] for _, _, d in nx.minimum_spanning_edges(g, data=True))
+        _, weights = mutual_reachability_mst(pts, min_samples=2)
+        assert float(weights.sum()) == pytest.approx(expected, rel=1e-9)
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            mutual_reachability_mst(np.zeros((1, 2)))
+
+
+class TestSingleLinkageTree:
+    def test_merge_sizes(self, rng):
+        pts = rng.standard_normal((10, 2))
+        edges, weights = mutual_reachability_mst(pts, 2)
+        slt = SingleLinkageTree.from_mst(edges, weights)
+        assert slt.merges.shape == (9, 4)
+        assert slt.merges[-1, 3] == 10  # final merge covers everything
+
+    def test_distances_nondecreasing(self, rng):
+        pts = rng.standard_normal((15, 2))
+        edges, weights = mutual_reachability_mst(pts, 2)
+        slt = SingleLinkageTree.from_mst(edges, weights)
+        d = slt.merges[:, 2]
+        assert np.all(np.diff(d) >= -1e-12)
+
+
+class TestCondensedTree:
+    def _tree(self, blobs):
+        points, _ = blobs
+        edges, weights = mutual_reachability_mst(points, 5)
+        slt = SingleLinkageTree.from_mst(edges, weights)
+        return condense_tree(slt, min_cluster_size=10)
+
+    def test_every_point_appears_once(self, blobs):
+        tree = self._tree(blobs)
+        point_children = tree.child[tree.child < tree.n_points]
+        assert len(point_children) == tree.n_points
+        assert len(set(point_children.tolist())) == tree.n_points
+
+    def test_leaves_have_no_cluster_children(self, blobs):
+        tree = self._tree(blobs)
+        for leaf in tree.leaves():
+            mask = tree.parent == leaf
+            assert all(c < tree.n_points for c in tree.child[mask])
+
+    def test_points_of_root_is_everything(self, blobs):
+        tree = self._tree(blobs)
+        root = int(tree.parent.min())
+        assert len(tree.points_of(root)) == tree.n_points
+
+    def test_stability_nonnegative(self, blobs):
+        tree = self._tree(blobs)
+        for value in compute_stability(tree).values():
+            assert value >= -1e-9
+
+    def test_min_cluster_size_validation(self, blobs):
+        points, _ = blobs
+        edges, weights = mutual_reachability_mst(points, 5)
+        slt = SingleLinkageTree.from_mst(edges, weights)
+        with pytest.raises(ConfigurationError):
+            condense_tree(slt, min_cluster_size=1)
+
+
+class TestHDBSCAN:
+    @pytest.mark.parametrize("method", ["eom", "leaf"])
+    def test_finds_four_blobs(self, blobs, method):
+        points, truth = blobs
+        model = HDBSCAN(min_cluster_size=10, cluster_selection_method=method).fit(points)
+        assert model.n_clusters_ == 4
+        # purity of each found cluster
+        for label in range(model.n_clusters_):
+            members = truth[model.labels_ == label]
+            values, counts = np.unique(members[members >= 0], return_counts=True)
+            assert counts.max() / max(len(members), 1) > 0.9
+
+    def test_noise_detected(self, blobs):
+        points, truth = blobs
+        model = HDBSCAN(min_cluster_size=10).fit(points)
+        noise_found = set(np.flatnonzero(model.labels_ == -1).tolist())
+        true_noise = set(np.flatnonzero(truth == -1).tolist())
+        assert len(noise_found & true_noise) >= len(true_noise) // 2
+
+    def test_probabilities_bounds(self, blobs):
+        points, _ = blobs
+        model = HDBSCAN(min_cluster_size=10).fit(points)
+        assert np.all(model.probabilities_ >= 0) and np.all(model.probabilities_ <= 1)
+        assert np.all(model.probabilities_[model.labels_ == -1] == 0)
+
+    def test_uniform_data_mostly_noise_or_one_cluster(self, rng):
+        points = rng.uniform(0, 1, (80, 2))
+        model = HDBSCAN(min_cluster_size=8).fit(points)
+        assert model.n_clusters_ <= 6  # no spurious fine structure
+
+    def test_tiny_input_all_noise(self):
+        model = HDBSCAN(min_cluster_size=5).fit(np.zeros((3, 2)))
+        assert np.all(model.labels_ == -1)
+
+    def test_fit_predict(self, blobs):
+        points, _ = blobs
+        labels = HDBSCAN(min_cluster_size=10).fit_predict(points)
+        assert labels.shape == (points.shape[0],)
+
+    def test_medoids_are_members(self, blobs):
+        points, _ = blobs
+        model = HDBSCAN(min_cluster_size=10).fit(points)
+        medoids = model.medoids(points)
+        for label, row in medoids.items():
+            assert model.labels_[row] == label
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            _ = HDBSCAN().n_clusters_
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            HDBSCAN(min_cluster_size=1)
+        with pytest.raises(ConfigurationError):
+            HDBSCAN(cluster_selection_method="magic")
+
+    def test_deterministic(self, blobs):
+        points, _ = blobs
+        a = HDBSCAN(min_cluster_size=10).fit_predict(points)
+        b = HDBSCAN(min_cluster_size=10).fit_predict(points)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMedoids:
+    def test_medoid_minimizes_total_distance(self, rng):
+        pts = rng.standard_normal((20, 3))
+        best = medoid_index(pts)
+        totals = np.linalg.norm(pts[:, None, :] - pts[None, :, :], axis=2).sum(axis=1)
+        assert best == int(np.argmin(totals))
+
+    def test_cluster_medoids_global_ids(self, rng):
+        pts = rng.standard_normal((30, 2))
+        labels = np.array([0] * 10 + [1] * 10 + [-1] * 10)
+        medoids = cluster_medoids(pts, labels)
+        assert set(medoids) == {0, 1}
+        assert labels[medoids[0]] == 0 and labels[medoids[1]] == 1
+
+    def test_include_noise(self, rng):
+        pts = rng.standard_normal((10, 2))
+        labels = np.array([0] * 5 + [-1] * 5)
+        medoids = cluster_medoids(pts, labels, include_noise=True)
+        assert -1 in medoids
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            medoid_index(np.empty((0, 3)))
+
+    def test_misaligned_labels(self, rng):
+        with pytest.raises(ConfigurationError):
+            cluster_medoids(rng.standard_normal((5, 2)), np.zeros(4))
+
+    @given(st.integers(1, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_single_cluster_medoid_valid(self, n):
+        pts = np.random.default_rng(n).standard_normal((n, 2))
+        assert 0 <= medoid_index(pts) < n

@@ -1,0 +1,192 @@
+"""Tests for the synthetic corpora, queries and qrels generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DatasetScale,
+    QueryCategory,
+    covid_federation,
+    generate_edp_corpus,
+    generate_wikitables_corpus,
+)
+from repro.data.queries import QuerySource
+from repro.data.synthesis import CorpusSynthesizer
+from repro.data.topics import TOPICS, topic_by_name
+from repro.errors import DataGenerationError
+
+
+@pytest.fixture(scope="module")
+def wiki():
+    return generate_wikitables_corpus(n_tables=80, pairs_target=600)
+
+
+class TestWikiTablesCorpus:
+    def test_sizes(self, wiki):
+        assert len(wiki.relations) == 80
+        assert len(wiki.queries) == 60
+        assert wiki.qrels.n_pairs == 600
+
+    def test_numeric_fraction_near_paper(self):
+        corpus = generate_wikitables_corpus(n_tables=150)
+        assert 0.20 <= corpus.numeric_cell_fraction <= 0.34  # paper: 26.9%
+
+    def test_query_categories_balanced(self, wiki):
+        for category in QueryCategory:
+            assert len(wiki.queries_of(category)) == 20
+
+    def test_query_lengths_respect_taxonomy(self, wiki):
+        for spec in wiki.queries:
+            if spec.category is QueryCategory.SHORT:
+                assert spec.n_keywords <= 5  # <=3 keywords, facets add tokens
+            elif spec.category is QueryCategory.LONG:
+                assert 30 < spec.n_keywords <= 300
+
+    def test_query_sources_alternate(self, wiki):
+        sources = {s.source for s in wiki.queries}
+        assert sources == {QuerySource.QS1, QuerySource.QS2}
+
+    def test_deterministic(self):
+        a = generate_wikitables_corpus(n_tables=40, pairs_target=200)
+        b = generate_wikitables_corpus(n_tables=40, pairs_target=200)
+        assert [r.caption for r in a.relations] == [r.caption for r in b.relations]
+        assert [q.text for q in a.queries] == [q.text for q in b.queries]
+        assert a.qrels.pairs() == b.qrels.pairs()
+
+    def test_seed_changes_content(self):
+        a = generate_wikitables_corpus(n_tables=40, pairs_target=200, seed=0)
+        b = generate_wikitables_corpus(n_tables=40, pairs_target=200, seed=1)
+        assert [q.text for q in a.queries] != [q.text for q in b.queries]
+
+    def test_facets_cover_all_topics(self, wiki):
+        topics = {facet[0] for facet in wiki.table_facets.values()}
+        assert topics == {t.name for t in TOPICS}
+
+
+class TestGrades:
+    def test_grade_rules(self, wiki):
+        spec = next(q for q in wiki.queries if q.region and q.year)
+        grade = CorpusSynthesizer.grade
+        assert grade(spec, spec.topic, spec.region, spec.year) == 2
+        other_region = "asia" if spec.region != "asia" else "africa"
+        assert grade(spec, spec.topic, other_region, spec.year) == 1
+        assert grade(spec, spec.topic, spec.region, spec.year + 1 if spec.year < 2023 else spec.year - 1) == 1
+        unrelated = next(t.name for t in TOPICS if t.name != spec.topic)
+        assert grade(spec, unrelated, spec.region, spec.year) in (0, 1)
+
+    def test_facetless_query_grades_whole_topic(self, wiki):
+        grade = CorpusSynthesizer.grade
+        spec = next((q for q in wiki.queries if not q.is_facet_specific()), None)
+        if spec is not None:
+            assert grade(spec, spec.topic, "europe", 2015) == 2
+
+    def test_qrels_match_latent_facets(self, wiki):
+        for query, relation_id, judged in wiki.qrels.pairs()[:300]:
+            spec = next(s for s in wiki.queries if s.text == query)
+            topic, region, year = wiki.table_facets[relation_id]
+            assert judged == CorpusSynthesizer.grade(spec, topic, region, year)
+
+    def test_every_query_has_relevant_tables(self, wiki):
+        for judgments in wiki.qrels:
+            assert judgments.n_relevant > 0
+
+
+class TestPartitions:
+    def test_partition_sizes_monotone(self, wiki):
+        sd = wiki.partition_relations(DatasetScale.SMALL)
+        md = wiki.partition_relations(DatasetScale.MODERATE)
+        ld = wiki.partition_relations(DatasetScale.LARGE)
+        assert len(sd) < len(md) < len(ld) == 80
+
+    def test_partitions_nested(self, wiki):
+        sd = {r.name for r in wiki.partition_relations(DatasetScale.SMALL)}
+        md = {r.name for r in wiki.partition_relations(DatasetScale.MODERATE)}
+        assert sd <= md
+
+    def test_all_topics_present_at_every_scale(self, wiki):
+        for scale in DatasetScale:
+            topics = {
+                wiki.table_facets[wiki.qualified_id(r)][0]
+                for r in wiki.partition_relations(scale)
+            }
+            assert topics == {t.name for t in TOPICS}
+
+    def test_scaled_qrels_subset(self, wiki):
+        sd_qrels = wiki.qrels_for(DatasetScale.SMALL)
+        sd_ids = {wiki.qualified_id(r) for r in wiki.partition_relations(DatasetScale.SMALL)}
+        for _, relation_id, _ in sd_qrels.pairs():
+            assert relation_id in sd_ids
+
+    def test_federation_cached(self, wiki):
+        assert wiki.federation(DatasetScale.SMALL) is wiki.federation(DatasetScale.SMALL)
+
+    def test_qrels_of_category_and_scale(self, wiki):
+        scoped = wiki.qrels_of(QueryCategory.SHORT, DatasetScale.MODERATE)
+        sq_texts = set(wiki.query_texts(QueryCategory.SHORT))
+        assert set(scoped.queries()) <= sq_texts
+
+
+class TestEDPCorpus:
+    def test_shape(self):
+        corpus = generate_edp_corpus(n_tables=60, pairs_target=400)
+        assert len(corpus.relations) == 60
+        assert 0.45 <= corpus.numeric_cell_fraction <= 0.65  # paper: 55.3%
+
+    def test_metadata_fields(self):
+        corpus = generate_edp_corpus(n_tables=40, pairs_target=200)
+        assert all("publisher" in r.metadata for r in corpus.relations)
+
+
+class TestSynthesizerValidation:
+    def test_too_few_tables(self):
+        with pytest.raises(DataGenerationError):
+            CorpusSynthesizer("x", n_tables=3)
+
+    def test_too_few_queries(self):
+        with pytest.raises(DataGenerationError):
+            CorpusSynthesizer("x", n_tables=50, n_queries=2)
+
+    def test_bad_date_style(self):
+        with pytest.raises(DataGenerationError):
+            CorpusSynthesizer("x", n_tables=50, date_style="never")
+
+    def test_bad_caption_noise(self):
+        with pytest.raises(DataGenerationError):
+            CorpusSynthesizer("x", n_tables=50, caption_noise=2.0)
+
+    def test_role_split_disjoint_for_rich_concepts(self):
+        synth = CorpusSynthesizer("x", n_tables=50)
+        table_terms = set(synth._terms("covid_vaccine", role="table"))
+        query_terms = set(synth._terms("covid_vaccine", role="query"))
+        assert not (table_terms & query_terms)
+
+
+class TestTopics:
+    def test_lookup(self):
+        assert topic_by_name("covid_vaccination").name == "covid_vaccination"
+        with pytest.raises(KeyError):
+            topic_by_name("nope")
+
+    def test_related_topics_exist(self):
+        names = {t.name for t in TOPICS}
+        for topic in TOPICS:
+            assert set(topic.related) <= names
+
+
+class TestCovidFederation:
+    def test_contents(self):
+        fed = covid_federation()
+        ids = [rid for rid, _ in fed.relations()]
+        assert "WHO/WHO" in ids and len(ids) == 6
+
+    def test_without_distractors(self):
+        assert covid_federation(include_distractors=False).num_relations == 3
+
+    def test_keyword_covid_only_in_ecdc(self):
+        fed = covid_federation(include_distractors=False)
+        containing = [
+            rid
+            for rid, rel in fed.relations()
+            if any("covid" in v.lower() for v in rel.values())
+        ]
+        assert containing == ["ECDC/ECDC"]

@@ -1,0 +1,160 @@
+"""Tests for the relational data model and loaders."""
+
+import json
+
+import pytest
+
+from repro.datamodel import (
+    Attribute,
+    Dataset,
+    Federation,
+    Relation,
+    Row,
+    relation_from_csv,
+    relation_from_json,
+)
+from repro.errors import ConfigurationError, DataGenerationError
+
+
+class TestRow:
+    def test_attributes(self):
+        row = Row(["a", "b"], ["1", "2"])
+        assert list(row.attributes()) == [Attribute("a", "1"), Attribute("b", "2")]
+        assert row.cardinality == 2
+
+    def test_getitem_by_name(self):
+        row = Row(["a", "b"], ["1", "2"])
+        assert row["b"] == "2"
+        with pytest.raises(KeyError):
+            row["c"]
+
+    def test_values_coerced_to_str(self):
+        row = Row(["n"], [42])
+        assert row.values == ("42",)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Row(["a"], ["1", "2"])
+
+    def test_equality_and_hash(self):
+        a = Row(["x"], ["1"])
+        b = Row(["x"], ["1"])
+        assert a == b and hash(a) == hash(b)
+        assert a != Row(["x"], ["2"])
+
+
+class TestRelation:
+    def test_construction_and_counts(self, tiny_relations):
+        rel = tiny_relations[0]
+        assert rel.num_rows == 3
+        assert rel.num_columns == 3
+        assert rel.num_cells == 9
+
+    def test_column(self, tiny_relations):
+        assert tiny_relations[0].column("Country") == ["germany", "france", "spain"]
+        with pytest.raises(KeyError):
+            tiny_relations[0].column("Nope")
+
+    def test_values_row_major(self):
+        rel = Relation("r", ["a", "b"], [["1", "2"], ["3", "4"]])
+        assert rel.values() == ["1", "2", "3", "4"]
+
+    def test_attributes_iteration(self):
+        rel = Relation("r", ["a"], [["x"], ["y"]])
+        assert [attr.value for attr in rel.attributes()] == ["x", "y"]
+
+    def test_duplicate_schema_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Relation("r", ["a", "a"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Relation("", ["a"])
+
+    def test_row_schema_enforced(self):
+        rel = Relation("r", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            rel.add_row(["only one"])
+
+    def test_text_fields(self):
+        rel = Relation("r", ["a"], caption="hello", metadata={"page": "World"})
+        fields = rel.text_fields()
+        assert fields["caption"] == "hello"
+        assert fields["schema"] == "a"
+        assert fields["page"] == "World"
+
+
+class TestDatasetFederation:
+    def test_dataset_unique_relations(self, tiny_relations):
+        ds = Dataset("d", tiny_relations[:1])
+        with pytest.raises(ConfigurationError):
+            ds.add_relation(tiny_relations[0])
+
+    def test_federation_qualified_ids(self, tiny_federation):
+        ids = [rid for rid, _ in tiny_federation.relations()]
+        assert "vaccines/vaccines" in ids
+        assert tiny_federation.num_relations == 3
+
+    def test_federation_lookup(self, tiny_federation):
+        rel = tiny_federation.relation("vaccines/vaccines")
+        assert rel.name == "vaccines"
+
+    def test_from_relations(self, tiny_relations):
+        fed = Federation.from_relations(tiny_relations)
+        assert len(fed) == 3
+
+    def test_duplicate_dataset_rejected(self, tiny_relations):
+        fed = Federation.from_relations(tiny_relations)
+        with pytest.raises(ConfigurationError):
+            fed.add_dataset(Dataset("vaccines"))
+
+
+class TestLoaders:
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n1,2\n3,4\n")
+        rel = relation_from_csv(path)
+        assert rel.name == "data"
+        assert rel.schema == ("a", "b")
+        assert rel.num_rows == 2
+
+    def test_csv_short_rows_padded(self, tmp_path):
+        path = tmp_path / "p.csv"
+        path.write_text("a,b\n1\n")
+        rel = relation_from_csv(path)
+        assert rel.rows[0].values == ("1", "")
+
+    def test_csv_long_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a\n1,2\n")
+        with pytest.raises(DataGenerationError):
+            relation_from_csv(path)
+
+    def test_csv_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataGenerationError):
+            relation_from_csv(path)
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "rel.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "t",
+                    "schema": ["x"],
+                    "rows": [["1"]],
+                    "caption": "cap",
+                    "metadata": {"k": "v"},
+                }
+            )
+        )
+        rel = relation_from_json(path)
+        assert rel.caption == "cap"
+        assert rel.metadata == {"k": "v"}
+
+    def test_json_missing_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "t"}))
+        with pytest.raises(DataGenerationError):
+            relation_from_json(path)

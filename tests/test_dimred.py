@@ -1,0 +1,166 @@
+"""Tests for PCA, kNN graphs and UMAP."""
+
+import numpy as np
+import pytest
+
+from repro.dimred import KNNGraph, PCA, UMAP, build_knn_graph
+from repro.errors import ConfigurationError, NotFittedError
+from repro.linalg.distances import euclidean_distance
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(3)
+    centers = rng.standard_normal((3, 12)) * 8
+    points = np.vstack([c + rng.standard_normal((60, 12)) for c in centers])
+    labels = np.repeat(np.arange(3), 60)
+    return points, labels
+
+
+class TestPCA:
+    def test_shapes(self, rng):
+        x = rng.standard_normal((40, 10))
+        out = PCA(n_components=3).fit_transform(x)
+        assert out.shape == (40, 3)
+
+    def test_variance_ordering(self, rng):
+        x = rng.standard_normal((100, 8)) * np.array([10, 5, 2, 1, 1, 1, 1, 1])
+        pca = PCA(n_components=4).fit(x)
+        evr = pca.explained_variance_ratio_
+        assert all(evr[i] >= evr[i + 1] - 1e-12 for i in range(3))
+        assert evr[0] > 0.5
+
+    def test_reconstruction_with_full_rank(self, rng):
+        x = rng.standard_normal((30, 5))
+        pca = PCA(n_components=5).fit(x)
+        recon = pca.inverse_transform(pca.transform(x))
+        np.testing.assert_allclose(recon, x, atol=1e-8)
+
+    def test_centering(self, rng):
+        x = rng.standard_normal((50, 4)) + 100.0
+        out = PCA(n_components=2).fit_transform(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            PCA(2).transform(np.zeros((1, 4)))
+        with pytest.raises(NotFittedError):
+            PCA(2).inverse_transform(np.zeros((1, 2)))
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            PCA(0)
+        with pytest.raises(ConfigurationError):
+            PCA(2).fit(np.zeros(4))
+
+    def test_deterministic(self, rng):
+        x = rng.standard_normal((80, 20))
+        a = PCA(5, seed=1).fit_transform(x)
+        b = PCA(5, seed=1).fit_transform(x)
+        np.testing.assert_allclose(a, b)
+
+
+class TestKNNGraph:
+    def test_shapes_and_no_self(self, rng):
+        pts = rng.standard_normal((30, 4))
+        graph = build_knn_graph(pts, 5)
+        assert graph.indices.shape == (30, 5)
+        for i in range(30):
+            assert i not in graph.indices[i]
+
+    def test_sorted_distances(self, rng):
+        graph = build_knn_graph(rng.standard_normal((30, 4)), 5)
+        graph.validate()
+
+    def test_exact_correctness(self, rng):
+        pts = rng.standard_normal((25, 3))
+        graph = build_knn_graph(pts, 4)
+        d = euclidean_distance(pts, pts)
+        np.fill_diagonal(d, np.inf)
+        for i in range(25):
+            expected = set(np.argsort(d[i])[:4].tolist())
+            # allow ties to swap, but distances must match
+            np.testing.assert_allclose(
+                graph.distances[i], np.sort(d[i])[:4], atol=1e-9
+            )
+            assert len(set(graph.indices[i].tolist()) - expected) <= 1
+
+    def test_k_clamped(self, rng):
+        graph = build_knn_graph(rng.standard_normal((5, 2)), 100)
+        assert graph.k == 4
+
+    def test_approximate_close_to_exact(self, rng):
+        pts = rng.standard_normal((150, 8))
+        exact = build_knn_graph(pts, 5)
+        approx = build_knn_graph(pts, 5, approximate=True)
+        overlap = [
+            len(set(exact.indices[i]) & set(approx.indices[i])) / 5 for i in range(150)
+        ]
+        assert float(np.mean(overlap)) > 0.7
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            build_knn_graph(np.zeros((1, 2)), 1)
+
+    def test_validate_catches_bad_graph(self):
+        bad = KNNGraph(
+            indices=np.array([[1], [0]]),
+            distances=np.array([[1.0, 0.5]]),  # wrong shape
+        )
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+
+
+class TestUMAP:
+    def test_preserves_cluster_structure(self, blobs):
+        points, labels = blobs
+        emb = UMAP(n_components=3, n_neighbors=10, n_epochs=60, seed=0).fit_transform(points)
+        within = np.mean(
+            [euclidean_distance(emb[labels == i], emb[labels == i]).mean() for i in range(3)]
+        )
+        between = euclidean_distance(emb[labels == 0], emb[labels == 1]).mean()
+        assert between > 2.0 * within
+
+    def test_output_shape(self, blobs):
+        points, _ = blobs
+        emb = UMAP(n_components=2, n_neighbors=8, n_epochs=30).fit_transform(points)
+        assert emb.shape == (points.shape[0], 2)
+
+    def test_transform_places_near_training_cluster(self, blobs):
+        points, labels = blobs
+        um = UMAP(n_components=3, n_neighbors=10, n_epochs=60, seed=0).fit(points)
+        # a fresh point near cluster 2's centre
+        query = points[labels == 2].mean(axis=0)
+        emb_q = um.transform(query)[0]
+        d = euclidean_distance(emb_q, um.embedding_)[0]
+        nearest_labels = labels[np.argsort(d)[:10]]
+        assert (nearest_labels == 2).mean() >= 0.8
+
+    def test_precomputed_knn_used(self, blobs):
+        points, _ = blobs
+        knn = build_knn_graph(points, 10)
+        um = UMAP(n_components=2, n_neighbors=10, n_epochs=20, precomputed_knn=knn, seed=0)
+        emb = um.fit_transform(points)
+        assert emb.shape[1] == 2
+
+    def test_deterministic(self, blobs):
+        points, _ = blobs
+        a = UMAP(n_components=2, n_neighbors=8, n_epochs=20, seed=4).fit_transform(points)
+        b = UMAP(n_components=2, n_neighbors=8, n_epochs=20, seed=4).fit_transform(points)
+        np.testing.assert_allclose(a, b)
+
+    def test_unfitted_transform(self):
+        with pytest.raises(NotFittedError):
+            UMAP().transform(np.zeros((1, 4)))
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            UMAP().fit(np.zeros((2, 3)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            UMAP(n_components=0)
+        with pytest.raises(ConfigurationError):
+            UMAP(n_neighbors=1)
+        with pytest.raises(ConfigurationError):
+            UMAP(min_dist=5.0)

@@ -1,0 +1,55 @@
+"""Tests for federation-embedding persistence (engine save/load_index)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DiscoveryEngine,
+    load_federation_embeddings,
+    save_federation_embeddings,
+)
+from repro.data.covid import covid_federation
+from repro.embedding import SemanticHashEncoder
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = DiscoveryEngine(dim=96)
+    return eng.index(covid_federation())
+
+
+class TestEmbeddingPersistence:
+    def test_roundtrip_preserves_everything(self, engine, tmp_path):
+        path = tmp_path / "emb.npz"
+        save_federation_embeddings(engine.embeddings, path)
+        loaded = load_federation_embeddings(path, engine.encoder)
+        assert loaded.relation_ids() == engine.embeddings.relation_ids()
+        for orig, rest in zip(engine.embeddings.relations, loaded.relations):
+            assert rest.values == orig.values
+            assert rest.attr_names == orig.attr_names
+            np.testing.assert_array_equal(rest.vectors, orig.vectors)
+            np.testing.assert_array_equal(rest.counts, orig.counts)
+
+    def test_engine_save_load_same_rankings(self, engine, tmp_path):
+        path = tmp_path / "engine.npz"
+        engine.save_index(path)
+        restored = DiscoveryEngine(dim=96).load_index(path)
+        for method in ("exs", "anns"):
+            a = engine.search("COVID", method=method, k=4, h=-1.0).relation_ids()
+            b = restored.search("COVID", method=method, k=4, h=-1.0).relation_ids()
+            assert a == b
+
+    def test_dim_mismatch_rejected(self, engine, tmp_path):
+        path = tmp_path / "emb96.npz"
+        engine.save_index(path)
+        with pytest.raises(ConfigurationError):
+            load_federation_embeddings(path, SemanticHashEncoder(dim=64))
+
+    def test_loaded_engine_is_indexed(self, engine, tmp_path):
+        path = tmp_path / "e.npz"
+        engine.save_index(path)
+        restored = DiscoveryEngine(dim=96)
+        assert not restored.is_indexed
+        restored.load_index(path)
+        assert restored.is_indexed

@@ -1,0 +1,198 @@
+"""Tests for ranking metrics, qrels, splits and the evaluation runner."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.eval import (
+    Qrels,
+    average_precision,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+    train_test_split_pairs,
+)
+
+
+GRADES = {"a": 2, "b": 1, "c": 0}
+
+
+class TestMetrics:
+    def test_perfect_ranking_ap(self):
+        assert average_precision(["a", "b", "c"], GRADES) == pytest.approx(1.0)
+
+    def test_worst_ranking_ap(self):
+        ap = average_precision(["c", "x", "a", "b"], GRADES)
+        assert ap == pytest.approx((1 / 3 + 2 / 4) / 2)
+
+    def test_ap_no_relevant(self):
+        assert average_precision(["x"], {"x": 0}) == 0.0
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(["c", "a"], GRADES) == pytest.approx(0.5)
+        assert reciprocal_rank(["c"], GRADES) == 0.0
+
+    def test_precision_recall_at_k(self):
+        ranking = ["a", "c", "b"]
+        assert precision_at_k(ranking, GRADES, 2) == pytest.approx(0.5)
+        assert recall_at_k(ranking, GRADES, 2) == pytest.approx(0.5)
+        assert recall_at_k(ranking, GRADES, 3) == pytest.approx(1.0)
+
+    def test_ndcg_ideal_is_one(self):
+        assert ndcg_at_k(["a", "b"], GRADES, 5) == pytest.approx(1.0)
+
+    def test_ndcg_graded_order_matters(self):
+        good = ndcg_at_k(["a", "b"], GRADES, 5)   # grade 2 before 1
+        bad = ndcg_at_k(["b", "a"], GRADES, 5)
+        assert good > bad
+
+    def test_ndcg_exponential_gain(self):
+        # single result of grade 2 vs grade 1 at rank 1
+        two = ndcg_at_k(["a"], {"a": 2}, 5)
+        one = ndcg_at_k(["a"], {"a": 1}, 5)
+        assert two == pytest.approx(1.0) and one == pytest.approx(1.0)
+        mixed = ndcg_at_k(["x", "a"], {"a": 2, "x": 0}, 5)
+        assert mixed == pytest.approx((3 / math.log2(3)) / 3)
+
+    def test_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            ndcg_at_k([], GRADES, 0)
+        with pytest.raises(EvaluationError):
+            precision_at_k([], GRADES, 0)
+
+    def test_mean_metrics(self):
+        rankings = {"q1": ["a"], "q2": ["c", "a"]}
+        qrels = {"q1": {"a": 1}, "q2": {"a": 2, "c": 0}}
+        assert mean_average_precision(rankings, qrels) == pytest.approx((1.0 + 0.5) / 2)
+        assert mean_reciprocal_rank(rankings, qrels) == pytest.approx((1.0 + 0.5) / 2)
+
+    @given(
+        st.lists(st.sampled_from("abcdef"), unique=True, max_size=6),
+        st.dictionaries(st.sampled_from("abcdef"), st.integers(0, 2), max_size=6),
+    )
+    @settings(max_examples=50)
+    def test_metric_bounds(self, ranking, grades):
+        for value in (
+            average_precision(ranking, grades),
+            reciprocal_rank(ranking, grades),
+            ndcg_at_k(ranking, grades, 5),
+            precision_at_k(ranking, grades, 5),
+            recall_at_k(ranking, grades, 5),
+        ):
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+
+class TestQrels:
+    def test_add_and_lookup(self):
+        qrels = Qrels()
+        qrels.add("q", "r1", 2)
+        qrels.add("q", "r2", 0)
+        judgments = qrels.judgments("q")
+        assert judgments.grade("r1") == 2
+        assert judgments.grade("missing") == 0
+        assert judgments.n_relevant == 1
+        assert judgments.relevant_ids() == {"r1"}
+
+    def test_invalid_grade(self):
+        with pytest.raises(EvaluationError):
+            Qrels().add("q", "r", 5)
+
+    def test_missing_query(self):
+        with pytest.raises(EvaluationError):
+            Qrels().judgments("nope")
+
+    def test_pairs_roundtrip(self):
+        pairs = [("q1", "a", 2), ("q1", "b", 0), ("q2", "a", 1)]
+        qrels = Qrels.from_pairs(pairs)
+        assert qrels.n_pairs == 3
+        assert sorted(qrels.pairs()) == sorted(pairs)
+
+    def test_restrict_to(self):
+        qrels = Qrels.from_pairs([("q", "a", 2), ("q", "b", 1)])
+        restricted = qrels.restrict_to({"a"})
+        assert restricted.n_pairs == 1
+
+    def test_save_load(self, tmp_path):
+        qrels = Qrels.from_pairs([("q", "a", 2), ("q2", "b", 1)])
+        path = tmp_path / "qrels.json"
+        qrels.save(path)
+        loaded = Qrels.load(path)
+        assert loaded.pairs() == qrels.pairs()
+
+
+class TestSplits:
+    def _qrels(self, n_queries=20, per_query=5):
+        pairs = [
+            (f"query {q}", f"rel {i}", (q + i) % 3)
+            for q in range(n_queries)
+            for i in range(per_query)
+        ]
+        return Qrels.from_pairs(pairs)
+
+    def test_split_fractions(self):
+        qrels = self._qrels()
+        train, test = train_test_split_pairs(qrels, train_fraction=0.6, seed=0)
+        assert train.n_pairs + test.n_pairs == qrels.n_pairs
+        assert 0.4 < train.n_pairs / qrels.n_pairs < 0.8
+
+    def test_no_query_overlap(self):
+        train, test = train_test_split_pairs(self._qrels(), seed=1)
+        assert not (set(train.queries()) & set(test.queries()))
+
+    def test_deterministic(self):
+        a = train_test_split_pairs(self._qrels(), seed=2)
+        b = train_test_split_pairs(self._qrels(), seed=2)
+        assert a[0].pairs() == b[0].pairs()
+
+    def test_tiny_qrels_still_has_test_side(self):
+        qrels = Qrels.from_pairs([("q1", "a", 1), ("q2", "b", 2)])
+        train, test = train_test_split_pairs(qrels, train_fraction=0.99, seed=0)
+        assert len(test) >= 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(EvaluationError):
+            train_test_split_pairs(self._qrels(), train_fraction=1.5)
+
+    def test_too_few_queries(self):
+        with pytest.raises(EvaluationError):
+            train_test_split_pairs(Qrels.from_pairs([("q", "a", 1)]))
+
+
+class TestRunner:
+    def test_evaluate_method_on_engine(self, indexed_engine):
+        from repro.eval import evaluate_method
+
+        qrels = Qrels.from_pairs(
+            [
+                ("COVID", "WHO/WHO", 2),
+                ("COVID", "CDC/CDC", 2),
+                ("COVID", "ECDC/ECDC", 2),
+                ("COVID", "FootballResults/FootballResults", 0),
+                ("football trophy", "FootballResults/FootballResults", 2),
+                ("football trophy", "WHO/WHO", 0),
+            ]
+        )
+        report = evaluate_method(indexed_engine.method("exs"), qrels, k=6, h=-1.0)
+        assert report.n_queries == 2
+        assert report.map > 0.8
+        assert set(report.ndcg) == {5, 10, 15, 20}
+        assert len(report.row()) == 6
+
+    def test_timing_harness(self, indexed_engine):
+        from repro.eval import time_queries
+
+        report = time_queries(indexed_engine.method("exs"), ["COVID"], k=3, repeats=2)
+        assert report.n_queries == 1
+        assert report.min_ms <= report.median_ms <= report.max_ms
+
+    def test_timing_requires_queries(self, indexed_engine):
+        from repro.eval import time_queries
+
+        with pytest.raises(ValueError):
+            time_queries(indexed_engine.method("exs"), [])

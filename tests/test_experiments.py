@@ -1,0 +1,143 @@
+"""Integration tests for the experiment harness (small scale)."""
+
+import pytest
+
+from repro.data.corpus import DatasetScale
+from repro.data.queries import QueryCategory
+from repro.experiments import (
+    ExperimentConfig,
+    format_quality_table,
+    format_timing_table,
+    run_case_study,
+    run_quality_experiment,
+    run_timing_experiment,
+)
+from repro.experiments.config import ALL_METHODS, CORE_METHODS
+from repro.experiments.quality import make_corpus, prepare_methods
+from repro.experiments.timing import timing_rows
+from repro.eval.splits import train_test_split_pairs
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return ExperimentConfig(
+        n_tables=60,
+        encoder_dim=96,
+        k=20,
+        methods=("cts", "anns", "exs", "ws"),
+        method_params={
+            "cts": {"umap_epochs": 30, "min_cluster_size": 10},
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def small_corpus(small_config):
+    return make_corpus(small_config)
+
+
+class TestConfig:
+    def test_core_params_filtering(self):
+        config = ExperimentConfig(method_params={"cts": {"seed": 1}, "ws": {"ridge": 0.1}})
+        assert config.core_params() == {"cts": {"seed": 1}}
+        assert config.baseline_params("ws") == {"ridge": 0.1}
+        assert config.baseline_params("mdr") == {}
+
+    def test_method_lists_cover_paper(self):
+        assert set(CORE_METHODS) == {"cts", "anns", "exs"}
+        assert len(ALL_METHODS) == 8
+
+    def test_unknown_corpus(self):
+        with pytest.raises(ValueError):
+            make_corpus(ExperimentConfig(corpus="nope"))
+
+
+class TestPrepareMethods:
+    def test_all_requested_methods_built(self, small_config, small_corpus):
+        train, _ = train_test_split_pairs(small_corpus.qrels, seed=0)
+        searchers = prepare_methods(
+            small_corpus, DatasetScale.SMALL, small_config, train
+        )
+        assert set(searchers) == set(small_config.methods)
+        for searcher in searchers.values():
+            result = searcher.search("vaccination europe", k=3)
+            assert result.method in small_config.methods
+
+    def test_unknown_method_rejected(self, small_corpus, small_config):
+        bad = ExperimentConfig(n_tables=60, methods=("magic",))
+        train, _ = train_test_split_pairs(small_corpus.qrels, seed=0)
+        with pytest.raises(ValueError):
+            prepare_methods(small_corpus, DatasetScale.SMALL, bad, train)
+
+
+class TestQualityExperiment:
+    def test_single_scale_run(self, small_config, small_corpus):
+        cells = run_quality_experiment(
+            small_config,
+            QueryCategory.SHORT,
+            scales=(DatasetScale.SMALL,),
+            corpus=small_corpus,
+        )
+        assert len(cells) == len(small_config.methods)
+        # sorted by MAP descending within the scale
+        maps = [c.report.map for c in cells]
+        assert maps == sorted(maps, reverse=True)
+        for cell in cells:
+            assert 0.0 <= cell.report.map <= 1.0
+            assert set(cell.report.ndcg) == {5, 10, 15, 20}
+
+    def test_table_formatting(self, small_config, small_corpus):
+        cells = run_quality_experiment(
+            small_config,
+            QueryCategory.SHORT,
+            scales=(DatasetScale.SMALL,),
+            corpus=small_corpus,
+        )
+        table = format_quality_table(cells, "Test Table")
+        assert "Test Table" in table
+        assert "SD" in table
+        assert "MAP" in table
+
+
+class TestTimingExperiment:
+    def test_timing_cells(self, small_config, small_corpus):
+        cells = run_timing_experiment(
+            small_config,
+            scales=(DatasetScale.SMALL,),
+            categories=(QueryCategory.SHORT,),
+            queries_per_category=2,
+            corpus=small_corpus,
+        )
+        assert len(cells) == len(small_config.methods)
+        for cell in cells:
+            assert cell.report.mean_ms > 0
+
+    def test_timing_rows_and_format(self, small_config, small_corpus):
+        cells = run_timing_experiment(
+            small_config,
+            scales=(DatasetScale.SMALL,),
+            categories=(QueryCategory.SHORT,),
+            queries_per_category=2,
+            corpus=small_corpus,
+        )
+        rows = timing_rows(cells, ("cts", "anns"))
+        assert rows[0][0] == "SD"
+        table = format_timing_table(rows, "Timing")
+        assert "CTS" in table and "ANNS" in table
+
+
+class TestCaseStudy:
+    def test_reports_structure(self):
+        reports = run_case_study(dim=96, n_per_group=3, k=3)
+        assert set(reports) == {"exs", "anns", "cts"}
+        for report in reports.values():
+            assert 0.0 <= report.target_precision_at_k <= 1.0
+            assert report.mean_target_rank >= 1.0
+            assert report.summary()
+
+    def test_groups_cover_all_tables(self):
+        from repro.experiments import build_case_study_corpus
+
+        federation, groups = build_case_study_corpus(n_per_group=3)
+        for relation_id, _ in federation.relations():
+            assert groups.group_of(relation_id) != "unknown"

@@ -1,0 +1,120 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the complete pipeline the way a downstream user would:
+generate a corpus, index it, search with every method, evaluate against
+the generated ground truth, persist and restore.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_baseline
+from repro.core import DiscoveryEngine
+from repro.data import DatasetScale, generate_wikitables_corpus
+from repro.data.queries import QueryCategory
+from repro.eval import evaluate_method
+from repro.eval.splits import train_test_split_pairs
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_wikitables_corpus(n_tables=80, pairs_target=800)
+
+
+@pytest.fixture(scope="module")
+def engine(corpus):
+    eng = DiscoveryEngine(dim=128)
+    eng.index(corpus.federation(DatasetScale.LARGE))
+    return eng
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("method", ["exs", "anns", "cts"])
+    def test_methods_beat_random_ranking(self, corpus, engine, method):
+        """Every semantic method must clearly beat a random ranking."""
+        report = evaluate_method(engine.method(method), corpus.qrels, k=50)
+        # random MAP on these qrels is ~ n_relevant/n_tables ~ 0.1-0.2
+        assert report.map > 0.35, f"{method} MAP {report.map}"
+
+    def test_topical_query_retrieves_its_topic(self, corpus, engine):
+        spec = corpus.queries_of(QueryCategory.SHORT)[0]
+        result = engine.search(spec.text, method="cts", k=5, h=-1.0)
+        assert len(result) > 0
+        top_topics = [
+            corpus.table_facets[m.relation_id][0] for m in result.matches[:3]
+        ]
+        assert spec.topic in top_topics
+
+    def test_methods_agree_on_top_results(self, corpus, engine):
+        """The three methods rank over the same embeddings and should
+        broadly agree on what is relevant."""
+        spec = corpus.queries_of(QueryCategory.MODERATE)[0]
+        tops = {}
+        for method in ("exs", "anns", "cts"):
+            result = engine.search(spec.text, method=method, k=10, h=-1.0)
+            tops[method] = set(result.relation_ids())
+        assert len(tops["exs"] & tops["anns"]) >= 3
+        assert len(tops["exs"] & tops["cts"]) >= 3
+
+    def test_score_scales_comparable(self, corpus, engine):
+        """All three methods score on the cosine scale, so a shared
+        threshold h is meaningful (the paper's match >= h semantics)."""
+        spec = corpus.queries_of(QueryCategory.SHORT)[1]
+        for method in ("exs", "anns", "cts"):
+            result = engine.search(spec.text, method=method, k=5, h=-1.0)
+            for match in result:
+                assert -1.0 <= match.score <= 1.0
+
+    def test_trained_baseline_pipeline(self, corpus, engine):
+        train, test = train_test_split_pairs(corpus.qrels, seed=0)
+        ws = make_baseline("ws")
+        ws.index_federation(corpus.federation(DatasetScale.LARGE), engine.embeddings)
+        ws.fit(train.pairs())
+        report = evaluate_method(ws, test, k=50)
+        assert 0.0 <= report.map <= 1.0
+
+    def test_partition_quality_ordering(self, corpus):
+        """Smaller partitions are easier (fewer distractors) — the
+        paper's SD > MD > LD trend, allowing slack for noise."""
+        maps = {}
+        for scale in (DatasetScale.SMALL, DatasetScale.LARGE):
+            eng = DiscoveryEngine(dim=128)
+            eng.index(corpus.federation(scale))
+            report = evaluate_method(
+                eng.method("exs"), corpus.qrels_for(scale), k=50
+            )
+            maps[scale] = report.map
+        assert maps[DatasetScale.SMALL] >= maps[DatasetScale.LARGE] - 0.1
+
+    def test_semantic_beats_keyword_overlap(self, corpus, engine):
+        """The core claim: semantic matching finds relevant tables that
+        share no keywords with the query."""
+        hits_without_overlap = 0
+        for spec in corpus.queries_of(QueryCategory.SHORT)[:8]:
+            result = engine.search(spec.text, method="exs", k=3, h=-1.0)
+            judgments = corpus.qrels.judgments(spec.text)
+            query_tokens = set(spec.text.lower().split())
+            for match in result.matches:
+                if judgments.grade(match.relation_id) > 0:
+                    relation = corpus.federation(DatasetScale.LARGE).relation(
+                        match.relation_id.split("/", 1)[1]
+                        if "/" not in match.relation_id
+                        else match.relation_id
+                    )
+                    table_tokens = {
+                        t for v in relation.values() for t in v.lower().split()
+                    }
+                    table_tokens |= set(relation.caption.lower().split())
+                    if not (query_tokens & table_tokens):
+                        hits_without_overlap += 1
+        assert hits_without_overlap >= 1
+
+    def test_deterministic_rankings(self, corpus):
+        """Same seed, same corpus => identical rankings."""
+        spec = corpus.queries_of(QueryCategory.SHORT)[2]
+        rankings = []
+        for _ in range(2):
+            eng = DiscoveryEngine(dim=96)
+            eng.index(corpus.federation(DatasetScale.SMALL))
+            rankings.append(eng.search(spec.text, method="cts", k=5, h=-1.0).relation_ids())
+        assert rankings[0] == rankings[1]

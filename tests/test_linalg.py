@@ -1,0 +1,187 @@
+"""Unit and property tests for repro.linalg."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError, DimensionMismatchError, NotFittedError
+from repro.linalg import (
+    KMeans,
+    Metric,
+    cosine_similarity,
+    euclidean_distance,
+    normalize_rows,
+    pairwise_distance,
+    pairwise_similarity,
+    similarity,
+    top_k_indices,
+)
+
+finite_rows = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 6), st.just(4)),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+class TestNormalizeRows:
+    def test_unit_norms(self, rng):
+        m = normalize_rows(rng.standard_normal((5, 8)))
+        np.testing.assert_allclose(np.linalg.norm(m, axis=1), 1.0)
+
+    def test_zero_row_unchanged(self):
+        m = normalize_rows(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        np.testing.assert_allclose(m[0], [0.0, 0.0])
+        np.testing.assert_allclose(m[1], [0.6, 0.8])
+
+    def test_1d_input(self):
+        v = normalize_rows(np.array([3.0, 4.0]))
+        np.testing.assert_allclose(v, [0.6, 0.8])
+
+
+class TestSimilarities:
+    def test_cosine_self_similarity(self, rng):
+        x = rng.standard_normal((4, 6))
+        np.testing.assert_allclose(np.diag(cosine_similarity(x, x)), 1.0)
+
+    def test_cosine_bounded(self, rng):
+        a, b = rng.standard_normal((5, 6)), rng.standard_normal((7, 6))
+        c = cosine_similarity(a, b)
+        assert np.all(c <= 1 + 1e-12) and np.all(c >= -1 - 1e-12)
+
+    def test_euclidean_matches_numpy(self, rng):
+        a, b = rng.standard_normal((3, 5)), rng.standard_normal((4, 5))
+        d = euclidean_distance(a, b)
+        for i in range(3):
+            for j in range(4):
+                assert d[i, j] == pytest.approx(np.linalg.norm(a[i] - b[j]))
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(DimensionMismatchError):
+            cosine_similarity(rng.standard_normal((2, 3)), rng.standard_normal((2, 4)))
+
+    def test_similarity_scalar(self):
+        assert similarity(np.array([1.0, 0.0]), np.array([1.0, 0.0])) == pytest.approx(1.0)
+        assert similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_similarity_rejects_matrices(self, rng):
+        with pytest.raises(DimensionMismatchError):
+            similarity(rng.standard_normal((2, 2)), rng.standard_normal(2))
+
+    @pytest.mark.parametrize("metric", list(Metric))
+    def test_pairwise_similarity_shape(self, metric, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((5, 4))
+        assert pairwise_similarity(a, b, metric).shape == (3, 5)
+
+    def test_euclidean_similarity_is_negated_distance(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((5, 4))
+        np.testing.assert_allclose(
+            pairwise_similarity(a, b, Metric.EUCLIDEAN),
+            -euclidean_distance(a, b),
+        )
+
+    @given(finite_rows)
+    @settings(max_examples=30)
+    def test_distance_symmetry(self, x):
+        # the expanded ||x||^2+||y||^2-2xy form cancels catastrophically
+        # near zero, so tolerances reflect sqrt(float-eps) noise
+        d = pairwise_distance(x, x, Metric.EUCLIDEAN)
+        np.testing.assert_allclose(d, d.T, atol=1e-6)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-6)
+
+    @property
+    def higher_is_better(self):
+        return None
+
+    def test_metric_flags(self):
+        assert Metric.COSINE.higher_is_better
+        assert Metric.DOT.higher_is_better
+        assert not Metric.EUCLIDEAN.higher_is_better
+
+
+class TestTopK:
+    def test_best_first(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        np.testing.assert_array_equal(top_k_indices(scores, 2), [1, 2])
+
+    def test_smallest(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        np.testing.assert_array_equal(top_k_indices(scores, 2, largest=False), [0, 2])
+
+    def test_k_clamped(self):
+        assert len(top_k_indices(np.array([1.0, 2.0]), 10)) == 2
+
+    def test_k_zero(self):
+        assert len(top_k_indices(np.array([1.0]), 0)) == 0
+
+    def test_tie_break_by_index(self):
+        scores = np.array([0.5, 0.5, 0.5])
+        np.testing.assert_array_equal(top_k_indices(scores, 2), [0, 1])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            top_k_indices(np.zeros((2, 2)), 1)
+
+    @given(
+        arrays(np.float64, st.integers(1, 30), elements=st.floats(-100, 100, allow_nan=False)),
+        st.integers(1, 10),
+    )
+    def test_matches_argsort(self, scores, k):
+        got = top_k_indices(scores, k)
+        expected_scores = np.sort(scores)[::-1][: min(k, len(scores))]
+        np.testing.assert_allclose(scores[got], expected_scores)
+
+
+class TestKMeans:
+    def test_separated_clusters_recovered(self, rng):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+        points = np.vstack([c + rng.standard_normal((30, 2)) * 0.5 for c in centers])
+        km = KMeans(n_clusters=3, seed=1).fit(points)
+        labels = km.labels_
+        # each block of 30 should be a single cluster
+        for start in (0, 30, 60):
+            assert len(set(labels[start : start + 30].tolist())) == 1
+
+    def test_predict_matches_fit_labels(self, rng):
+        points = rng.standard_normal((50, 3))
+        km = KMeans(n_clusters=4).fit(points)
+        np.testing.assert_array_equal(km.predict(points), km.labels_)
+
+    def test_predict_single_point(self, rng):
+        km = KMeans(n_clusters=2).fit(rng.standard_normal((10, 3)))
+        assert km.predict(rng.standard_normal(3)) in (0, 1)
+
+    def test_more_clusters_than_points(self):
+        points = np.array([[0.0], [1.0], [2.0]])
+        km = KMeans(n_clusters=10).fit(points)
+        assert km.centroids_.shape[0] == 3
+
+    def test_duplicate_points(self):
+        points = np.ones((20, 2))
+        km = KMeans(n_clusters=3, seed=0).fit(points)
+        assert km.inertia_ == pytest.approx(0.0)
+
+    def test_deterministic_given_seed(self, rng):
+        points = rng.standard_normal((40, 4))
+        a = KMeans(n_clusters=3, seed=5).fit(points)
+        b = KMeans(n_clusters=3, seed=5).fit(points)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            KMeans(n_clusters=2).predict(np.zeros((1, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ConfigurationError):
+            KMeans(n_clusters=2, max_iter=0)
+        with pytest.raises(ConfigurationError):
+            KMeans(n_clusters=2).fit(np.zeros((0, 2)))
+
+    def test_inertia_decreases_with_k(self, rng):
+        points = rng.standard_normal((60, 2))
+        inertias = [KMeans(n_clusters=k, seed=0).fit(points).inertia_ for k in (1, 4, 16)]
+        assert inertias[0] >= inertias[1] >= inertias[2]

@@ -1,0 +1,109 @@
+"""Tests for significance testing and corpus export/import."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_wikitables_corpus
+from repro.data.export import export_corpus, load_corpus
+from repro.errors import DataGenerationError, EvaluationError
+from repro.eval.runner import MethodReport
+from repro.eval.significance import (
+    compare_reports,
+    paired_bootstrap,
+    paired_t_test,
+)
+
+
+def _scores(base: float, noise: float, n: int, seed: int) -> dict[str, float]:
+    rng = np.random.default_rng(seed)
+    return {f"q{i}": float(np.clip(base + noise * rng.standard_normal(), 0, 1)) for i in range(n)}
+
+
+class TestSignificance:
+    def test_clear_difference_detected(self):
+        a = _scores(0.8, 0.02, 30, 0)
+        b = _scores(0.4, 0.02, 30, 1)
+        for test in (paired_t_test, paired_bootstrap):
+            result = test(a, b, "good", "bad")
+            assert result.mean_difference > 0.3
+            assert result.significant()
+
+    def test_identical_scores_not_significant(self):
+        a = _scores(0.6, 0.05, 20, 2)
+        for test in (paired_t_test, paired_bootstrap):
+            result = test(a, dict(a))
+            assert result.p_value == 1.0
+            assert not result.significant()
+
+    def test_noisy_overlap_not_significant(self):
+        # same mean, large per-query variance: no real difference
+        a = _scores(0.60, 0.25, 10, 3)
+        b = _scores(0.60, 0.25, 10, 30)
+        result = paired_bootstrap(a, b)
+        assert not result.significant(alpha=0.01)
+
+    def test_sign_of_difference(self):
+        a = _scores(0.3, 0.01, 15, 4)
+        b = _scores(0.7, 0.01, 15, 5)
+        result = paired_bootstrap(a, b)
+        assert result.mean_difference < 0
+
+    def test_requires_shared_queries(self):
+        with pytest.raises(EvaluationError):
+            paired_t_test({"q1": 0.5}, {"q2": 0.5})
+
+    def test_compare_reports(self):
+        ra = MethodReport("cts", 0.8, 0.8, {5: 0.8, 10: 0.8, 15: 0.8, 20: 0.8}, 10,
+                          per_query_ap=_scores(0.8, 0.02, 25, 6))
+        rb = MethodReport("exs", 0.5, 0.5, {5: 0.5, 10: 0.5, 15: 0.5, 20: 0.5}, 10,
+                          per_query_ap=_scores(0.5, 0.02, 25, 7))
+        result = compare_reports(ra, rb)
+        assert result.method_a == "cts" and result.significant()
+        with pytest.raises(EvaluationError):
+            compare_reports(ra, rb, test="magic")
+
+    def test_bootstrap_deterministic(self):
+        a = _scores(0.6, 0.1, 12, 8)
+        b = _scores(0.55, 0.1, 12, 9)
+        r1 = paired_bootstrap(a, b, seed=3)
+        r2 = paired_bootstrap(a, b, seed=3)
+        assert r1.p_value == r2.p_value
+
+
+class TestCorpusExport:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_wikitables_corpus(n_tables=25, pairs_target=120)
+
+    def test_roundtrip(self, corpus, tmp_path):
+        export_corpus(corpus, tmp_path / "dump")
+        loaded = load_corpus(tmp_path / "dump")
+        assert loaded.name == corpus.name
+        assert len(loaded.relations) == len(corpus.relations)
+        assert [q.text for q in loaded.queries] == [q.text for q in corpus.queries]
+        assert loaded.qrels.pairs() == corpus.qrels.pairs()
+        assert loaded.table_facets == corpus.table_facets
+
+    def test_roundtrip_preserves_cells_and_captions(self, corpus, tmp_path):
+        export_corpus(corpus, tmp_path / "dump2")
+        loaded = load_corpus(tmp_path / "dump2")
+        original = corpus.relations[0]
+        restored = next(r for r in loaded.relations if r.name == original.name)
+        assert restored.schema == original.schema
+        assert restored.values() == original.values()
+        assert restored.caption == original.caption
+
+    def test_loaded_corpus_is_searchable(self, corpus, tmp_path):
+        from repro.core import DiscoveryEngine
+        from repro.data.corpus import DatasetScale
+
+        export_corpus(corpus, tmp_path / "dump3")
+        loaded = load_corpus(tmp_path / "dump3")
+        engine = DiscoveryEngine(dim=64)
+        engine.index(loaded.federation(DatasetScale.LARGE))
+        result = engine.search(loaded.queries[0].text, method="exs", k=3, h=-1.0)
+        assert len(result) > 0
+
+    def test_bad_directory_rejected(self, tmp_path):
+        with pytest.raises(DataGenerationError):
+            load_corpus(tmp_path)

@@ -1,0 +1,97 @@
+"""Unit tests for the concept lexicon."""
+
+import pytest
+
+from repro.text.lexicon import ConceptLexicon, default_lexicon
+
+
+class TestConceptLexicon:
+    def test_direct_concepts(self):
+        lex = ConceptLexicon()
+        lex.add_concept("fruit", ["apple", "banana"])
+        assert lex.concepts_of("apple") == {"fruit": 1.0}
+        assert lex.concepts_of("APPLE") == {"fruit": 1.0}  # normalized lookup
+
+    def test_broader_decay(self):
+        lex = ConceptLexicon()
+        lex.add_concept("apple_kinds", ["gala"])
+        lex.add_broader("apple_kinds", "fruit")
+        lex.add_broader("fruit", "food")
+        weights = lex.concepts_of("gala", depth=2, decay=0.5)
+        assert weights == {"apple_kinds": 1.0, "fruit": 0.5, "food": 0.25}
+
+    def test_depth_limits_propagation(self):
+        lex = ConceptLexicon()
+        lex.add_concept("a", ["x"])
+        lex.add_broader("a", "b")
+        lex.add_broader("b", "c")
+        assert "c" not in lex.concepts_of("x", depth=1)
+
+    def test_multiple_paths_take_max(self):
+        lex = ConceptLexicon()
+        lex.add_concept("a", ["x"])
+        lex.add_concept("top", ["x"])  # direct membership too
+        lex.add_broader("a", "top")
+        assert lex.concepts_of("x")["top"] == 1.0
+
+    def test_self_broader_rejected(self):
+        lex = ConceptLexicon()
+        with pytest.raises(ValueError):
+            lex.add_broader("a", "a")
+
+    def test_synonyms(self):
+        lex = ConceptLexicon()
+        lex.add_concept("fruit", ["apple", "banana"])
+        assert lex.synonyms_of("apple") == {"banana"}
+
+    def test_unknown_term(self):
+        lex = ConceptLexicon()
+        assert lex.concepts_of("ghost") == {}
+        assert not lex.has_term("ghost")
+
+    def test_narrower_and_descendant_terms(self):
+        lex = ConceptLexicon()
+        lex.add_concept("europe", ["europe"])
+        lex.add_concept("germany", ["germany", "german"])
+        lex.add_broader("germany", "europe")
+        assert lex.narrower_of("europe") == {"germany"}
+        assert lex.descendant_terms("europe") == {"europe", "germany", "german"}
+
+    def test_merge(self):
+        a = ConceptLexicon()
+        a.add_concept("x", ["one"])
+        b = ConceptLexicon()
+        b.add_concept("y", ["two"])
+        b.add_broader("y", "x")
+        a.merge(b)
+        assert a.has_term("two")
+        assert a.concepts_of("two") == {"y": 1.0, "x": 0.5}
+
+
+class TestDefaultLexicon:
+    def test_covid_example_terms(self):
+        lex = default_lexicon()
+        # Figure 1 of the paper: trade names and immunogens activate COVID
+        assert "covid" in lex.concepts_of("comirnaty")
+        assert "vaccine" in lex.concepts_of("mrna")
+
+    def test_countries_reach_regions(self):
+        lex = default_lexicon()
+        assert lex.concepts_of("poland")["europe"] == 0.5
+        assert lex.concepts_of("texas")["north_america"] == 0.25  # via usa
+
+    def test_sister_countries_share_no_direct_concept(self):
+        lex = default_lexicon()
+        direct_pl = {c for c, w in lex.concepts_of("poland").items() if w == 1.0}
+        direct_at = {c for c, w in lex.concepts_of("austria").items() if w == 1.0}
+        assert not (direct_pl & direct_at)
+
+    def test_fresh_instance_per_call(self):
+        a, b = default_lexicon(), default_lexicon()
+        a.add_concept("custom", ["zzz"])
+        assert not b.has_term("zzz")
+
+    def test_every_concept_has_terms(self):
+        lex = default_lexicon()
+        for concept in lex.concepts:
+            assert lex.terms_of(concept)

@@ -1,0 +1,106 @@
+"""Unit tests for repro.text.tokenize."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import (
+    Tokenizer,
+    char_ngrams,
+    is_numeric_token,
+    normalize_text,
+    sentence_split,
+)
+
+
+class TestNormalizeText:
+    def test_lowercases(self):
+        assert normalize_text("Hello WORLD") == "hello world"
+
+    def test_strips_accents(self):
+        assert normalize_text("Café Zürich") == "cafe zurich"
+
+    def test_collapses_whitespace(self):
+        assert normalize_text("  a \t b\n c ") == "a b c"
+
+    def test_empty(self):
+        assert normalize_text("") == ""
+
+
+class TestSentenceSplit:
+    def test_basic_split(self):
+        assert sentence_split("One. Two! Three?") == ["One.", "Two!", "Three?"]
+
+    def test_no_terminal_punctuation(self):
+        assert sentence_split("just one fragment") == ["just one fragment"]
+
+    def test_empty(self):
+        assert sentence_split("") == []
+
+
+class TestIsNumericToken:
+    @pytest.mark.parametrize("token", ["42", "3.14", "1,000", "2021"])
+    def test_numeric(self, token):
+        assert is_numeric_token(token)
+
+    @pytest.mark.parametrize("token", ["abc", "2021-01-01", "x1", "", "1e5"])
+    def test_not_numeric(self, token):
+        assert not is_numeric_token(token)
+
+
+class TestCharNgrams:
+    def test_boundary_markers(self):
+        grams = char_ngrams("cat", 2, 3)
+        assert "<c" in grams and "t>" in grams
+        assert "cat" in grams
+
+    def test_short_token_skips_large_n(self):
+        # token "ab" -> marked "<ab>", so only n < 4 grams exist
+        grams = char_ngrams("ab", 3, 5)
+        assert all(len(g) <= 4 for g in grams)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            char_ngrams("cat", 3, 2)
+
+    @given(st.text(alphabet="abcdefgh", min_size=1, max_size=12))
+    def test_all_grams_within_bounds(self, token):
+        grams = char_ngrams(token, 3, 4)
+        assert all(3 <= len(g) <= 4 for g in grams)
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert Tokenizer().tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_keeps_hyphenated_and_dates(self):
+        tokens = Tokenizer().tokenize("COVID-19 on 2021-01-01")
+        assert "covid-19" in tokens
+        assert "2021-01-01" in tokens
+
+    def test_stopword_removal(self):
+        tokens = Tokenizer(remove_stopwords=True).tokenize("the cat is on a mat")
+        assert "the" not in tokens and "cat" in tokens
+
+    def test_min_token_length(self):
+        tokens = Tokenizer(min_token_length=3).tokenize("a bb ccc dddd")
+        assert tokens == ["ccc", "dddd"]
+
+    def test_invalid_min_length(self):
+        with pytest.raises(ValueError):
+            Tokenizer(min_token_length=0)
+
+    def test_tokenize_many_lazy(self):
+        out = list(Tokenizer().tokenize_many(["a b", "c"]))
+        assert out == [["a", "b"], ["c"]]
+
+    @given(st.text(max_size=100))
+    def test_deterministic(self, text):
+        tok = Tokenizer()
+        assert tok.tokenize(text) == tok.tokenize(text)
+
+    @given(st.text(max_size=100))
+    def test_tokens_are_normalized(self, text):
+        for token in Tokenizer().tokenize(text):
+            assert token == token.lower()
+            assert " " not in token

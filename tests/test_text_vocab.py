@@ -1,0 +1,81 @@
+"""Unit tests for repro.text.vocab."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.vocab import Vocabulary
+
+
+def build():
+    vocab = Vocabulary()
+    vocab.add_document(["apple", "banana", "apple"])
+    vocab.add_document(["banana", "cherry"])
+    return vocab
+
+
+class TestVocabulary:
+    def test_ids_are_dense_and_stable(self):
+        vocab = build()
+        assert vocab.id_of("apple") == 0
+        assert vocab.id_of("banana") == 1
+        assert vocab.id_of("cherry") == 2
+        assert vocab.token_of(1) == "banana"
+
+    def test_unknown_token(self):
+        assert build().id_of("durian") is None
+        assert "durian" not in build()
+
+    def test_frequencies(self):
+        vocab = build()
+        assert vocab.term_frequency("apple") == 2
+        assert vocab.document_frequency("apple") == 1
+        assert vocab.document_frequency("banana") == 2
+        assert vocab.num_documents == 2
+        assert vocab.total_tokens() == 5
+
+    def test_idf_ordering(self):
+        vocab = build()
+        # rarer tokens have higher idf
+        assert vocab.idf("cherry") > vocab.idf("banana")
+        # idf stays positive even for ubiquitous tokens
+        assert vocab.idf("banana") > 0
+
+    def test_idf_of_unseen_token_is_maximal(self):
+        vocab = build()
+        assert vocab.idf("zzz") >= vocab.idf("cherry")
+
+    def test_from_documents(self):
+        vocab = Vocabulary.from_documents([["a"], ["b", "a"]])
+        assert len(vocab) == 2
+        assert vocab.num_documents == 2
+
+    def test_most_common(self):
+        assert build().most_common(1) == [("apple", 2)] or build().most_common(1) == [("banana", 2)]
+
+    def test_prune_by_frequency(self):
+        pruned = build().prune(min_term_freq=2)
+        assert "apple" in pruned and "banana" in pruned
+        assert "cherry" not in pruned
+        # ids re-densified
+        assert sorted(pruned.id_of(t) for t in pruned) == list(range(len(pruned)))
+
+    def test_prune_max_size(self):
+        pruned = build().prune(max_size=1)
+        assert len(pruned) == 1
+
+    def test_prune_keeps_document_count(self):
+        assert build().prune(min_term_freq=2).num_documents == 2
+
+    @given(st.lists(st.lists(st.sampled_from("abcde"), max_size=10), max_size=10))
+    def test_total_tokens_matches_input(self, docs):
+        vocab = Vocabulary.from_documents(docs)
+        assert vocab.total_tokens() == sum(len(d) for d in docs)
+
+    @given(st.lists(st.lists(st.sampled_from("abcde"), max_size=8), min_size=1, max_size=8))
+    def test_idf_definition(self, docs):
+        vocab = Vocabulary.from_documents(docs)
+        for token in vocab:
+            expected = math.log((vocab.num_documents + 1) / (vocab.document_frequency(token) + 1)) + 1
+            assert abs(vocab.idf(token) - expected) < 1e-12
