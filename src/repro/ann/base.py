@@ -63,6 +63,17 @@ class VectorIndex(abc.ABC):
     def search(self, query: np.ndarray, k: int) -> list[SearchHit]:
         """Return up to ``k`` nearest rows to ``query``, best first."""
 
+    def search_batch(self, queries: np.ndarray, k: int) -> list[list[SearchHit]]:
+        """Nearest rows for each row of a ``(Q, dim)`` query block.
+
+        The default probes the index once per query — correct for graph
+        indexes, whose traversal is inherently sequential per query.
+        Scan-based indexes override this with one batched matrix
+        product (see :class:`repro.ann.bruteforce.BruteForceIndex`).
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return [self.search(query, k) for query in queries]
+
     # -- shared validation helpers -------------------------------------
 
     def _validate_build(self, vectors: np.ndarray) -> np.ndarray:

@@ -19,8 +19,8 @@ is unavailable offline.
 from repro.baselines.adh import AdHocTableRetrieval
 from repro.baselines.base import BaselineMethod
 from repro.baselines.forest import DecisionTreeRegressor, RandomForestRegressor
-from repro.baselines.linear import LinearRegression
 from repro.baselines.langmodel import DirichletLanguageModel, FieldLanguageModels
+from repro.baselines.linear import LinearRegression
 from repro.baselines.mdr import MultiFieldDocumentRanking
 from repro.baselines.tcs import TableContextualSearch
 from repro.baselines.tml import TableMeetsLLM

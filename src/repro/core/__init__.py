@@ -15,7 +15,7 @@ from repro.core.anns import ANNSearch
 from repro.core.cts import ClusteredTargetedSearch
 from repro.core.engine import DiscoveryEngine
 from repro.core.exhaustive import ExhaustiveSearch
-from repro.core.results import RelationMatch, SearchResult
+from repro.core.results import BatchResult, RelationMatch, SearchResult, same_ranking
 from repro.core.semimg import (
     FederationEmbeddings,
     RelationEmbedding,
@@ -27,6 +27,7 @@ from repro.core.semimg import (
 
 __all__ = [
     "ANNSearch",
+    "BatchResult",
     "ClusteredTargetedSearch",
     "DiscoveryEngine",
     "ExhaustiveSearch",
@@ -37,5 +38,6 @@ __all__ = [
     "build_federation_embeddings",
     "build_relation_embedding",
     "load_federation_embeddings",
+    "same_ranking",
     "save_federation_embeddings",
 ]

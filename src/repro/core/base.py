@@ -4,12 +4,30 @@ from __future__ import annotations
 
 import abc
 import time
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
 
-from repro.core.results import RelationMatch, SearchResult
+from repro.core.results import BatchResult, RelationMatch, SearchResult
 from repro.core.semimg import FederationEmbeddings
 from repro.errors import NotFittedError
+from repro.obs import MetricsRegistry
 
-__all__ = ["SearchMethod"]
+__all__ = ["SearchMethod", "even_chunks"]
+
+
+def even_chunks(n_items: int, n_chunks: int) -> list[range]:
+    """Split ``range(n_items)`` into up to ``n_chunks`` contiguous,
+    near-equal ranges (empty ranges are dropped)."""
+    n_chunks = max(1, min(n_chunks, n_items))
+    base, extra = divmod(n_items, n_chunks)
+    chunks: list[range] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        if size:
+            chunks.append(range(start, start + size))
+        start += size
+    return chunks
 
 
 class SearchMethod(abc.ABC):
@@ -17,9 +35,18 @@ class SearchMethod(abc.ABC):
 
     Lifecycle: construct with hyper-parameters, :meth:`index` once over
     the federation's semantic representation, then :meth:`search` any
-    number of queries.  ``search`` handles timing, thresholding and
-    top-k truncation uniformly; subclasses implement :meth:`_score_all`
-    returning per-relation scores.
+    number of queries — or :meth:`search_batch` to amortize encode and
+    scan work over many queries at once.  ``search`` handles timing,
+    thresholding and top-k truncation uniformly; subclasses implement
+    :meth:`_score_all` returning per-relation scores and may override
+    :meth:`_score_batch` with a genuinely batched kernel.
+
+    Every method records into :attr:`metrics` — per-stage latency
+    histograms (``<name>.encode`` / ``scan`` / ``route`` / ``rank``)
+    and query counters.  The registry is replaceable so a
+    :class:`~repro.core.engine.DiscoveryEngine` can share one across
+    methods; set it before :meth:`index` so index-time structures (the
+    vector database collections) report into the same registry.
     """
 
     #: Short name used in results and experiment tables.
@@ -27,6 +54,7 @@ class SearchMethod(abc.ABC):
 
     def __init__(self) -> None:
         self._embeddings: FederationEmbeddings | None = None
+        self.metrics = MetricsRegistry()
 
     @property
     def embeddings(self) -> FederationEmbeddings:
@@ -52,6 +80,13 @@ class SearchMethod(abc.ABC):
     def _score_all(self, query: str) -> list[RelationMatch]:
         """Score candidate relations for a query (any order, unfiltered)."""
 
+    def _finalize(self, matches: list[RelationMatch], k: int, h: float) -> list[RelationMatch]:
+        """Threshold, sort and truncate raw scores (paper Sec 3)."""
+        with self.metrics.timer(f"{self.name}.rank"):
+            matches = [m for m in matches if m.score >= h]
+            matches.sort(key=lambda m: (-m.score, m.relation_id))
+            return matches[:k]
+
     def search(self, query: str, k: int = 10, h: float = 0.0) -> SearchResult:
         """Answer a keyword query.
 
@@ -66,9 +101,86 @@ class SearchMethod(abc.ABC):
             filtered out (paper Sec 3: related iff ``match(F, q) >= h``).
         """
         start = time.perf_counter()
-        matches = self._score_all(query)
-        matches = [m for m in matches if m.score >= h]
-        matches.sort(key=lambda m: (-m.score, m.relation_id))
-        matches = matches[:k]
+        matches = self._finalize(self._score_all(query), k, h)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.metrics.counter(f"{self.name}.queries").inc()
+        self.metrics.histogram(f"{self.name}.latency_ms").observe(elapsed_ms)
         return SearchResult(query=query, method=self.name, matches=matches, elapsed_ms=elapsed_ms)
+
+    # -- batched serving ---------------------------------------------------
+
+    def _score_batch(self, queries: Sequence[str]) -> list[list[RelationMatch]]:
+        """Raw scores for many queries; the fallback loops
+        :meth:`_score_all`, subclasses override with batched kernels."""
+        return [self._score_all(query) for query in queries]
+
+    def _score_batch_parallel(
+        self, queries: Sequence[str], workers: int
+    ) -> list[list[RelationMatch]]:
+        """Thread-pool scoring; the default chunks over *queries*.
+
+        The kernels are NumPy-bound and release the GIL inside BLAS, so
+        threads give real parallelism without pickling indexes across
+        processes.  ExhaustiveSearch overrides this to chunk over
+        *relations* instead (its unit of work is the relation scan).
+        """
+        chunks = even_chunks(len(queries), workers)
+        if len(chunks) < 2:
+            return self._score_batch(queries)
+        with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+            parts = list(
+                pool.map(lambda c: self._score_batch([queries[i] for i in c]), chunks)
+            )
+        out: list[list[RelationMatch]] = [None] * len(queries)  # type: ignore[list-item]
+        for chunk, part in zip(chunks, parts):
+            for i, matches in zip(chunk, part):
+                out[i] = matches
+        return out
+
+    def search_batch(
+        self,
+        queries: Iterable[str],
+        k: int = 10,
+        h: float = 0.0,
+        workers: int = 1,
+    ) -> BatchResult:
+        """Answer many queries in one call, amortizing shared work.
+
+        Results are element-wise equivalent to ``[search(q) for q in
+        queries]`` — same rankings, same scores up to BLAS reduction
+        order — but the batched kernels encode all queries up front and
+        scan the federation with matrix-matrix instead of matrix-vector
+        products.  ``workers > 1`` additionally spreads the scan over a
+        thread pool.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        queries = list(queries)
+        if not queries:
+            return BatchResult([], elapsed_ms=0.0)
+        start = time.perf_counter()
+        if workers > 1:
+            scored = self._score_batch_parallel(queries, workers)
+        else:
+            scored = self._score_batch(queries)
+        per_query = [self._finalize(matches, k, h) for matches in scored]
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        amortized_ms = elapsed_ms / len(queries)
+        self.metrics.counter(f"{self.name}.queries").inc(len(queries))
+        self.metrics.counter(f"{self.name}.batches").inc()
+        self.metrics.histogram(f"{self.name}.batch_ms").observe(elapsed_ms)
+        latency = self.metrics.histogram(f"{self.name}.latency_ms")
+        for _ in queries:
+            latency.observe(amortized_ms)
+        return BatchResult(
+            [
+                SearchResult(
+                    query=query,
+                    method=self.name,
+                    matches=matches,
+                    elapsed_ms=amortized_ms,
+                )
+                for query, matches in zip(queries, per_query)
+            ],
+            elapsed_ms=elapsed_ms,
+        )

@@ -27,6 +27,7 @@ so noise points are attached to the cluster of their nearest medoid
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -39,7 +40,7 @@ from repro.dimred.pca import PCA
 from repro.dimred.umap_ import UMAP
 from repro.errors import ConfigurationError
 from repro.linalg.distances import Metric, euclidean_distance
-from repro.vectordb.collection import Point
+from repro.vectordb.collection import Point, ScoredPoint
 from repro.vectordb.database import VectorDatabase
 
 __all__ = ["ClusteredTargetedSearch"]
@@ -279,7 +280,7 @@ class ClusteredTargetedSearch(SearchMethod):
         """One collection per cluster + a medoid routing collection."""
         assert self._owner is not None
         assert self._stacked is not None
-        db = VectorDatabase()
+        db = VectorDatabase(metrics=self.metrics)
         dim = reduced.shape[1]
         # Medoids are stored in the ORIGINAL embedding space: the query
         # is "transformed into a vector using the same sentence
@@ -362,11 +363,37 @@ class ClusteredTargetedSearch(SearchMethod):
         return weights @ self._landmark_reduced[nearest]
 
     def _score_all(self, query: str) -> list[RelationMatch]:
-        q = self.embeddings.encode_query(query)
-
+        with self.metrics.timer("cts.encode"):
+            q = self.embeddings.encode_query(query)
         medoids = self.database.get_collection("medoids")
-        routed = medoids.search(q, k=self.top_clusters)
+        with self.metrics.timer("cts.route"):
+            routed = medoids.search(q, k=self.top_clusters)
+        with self.metrics.timer("cts.scan"):
+            return self._targeted_scan(q, routed)
 
+    def _score_batch(self, queries: Sequence[str]) -> list[list[RelationMatch]]:
+        """Batch the medoid-routing stage, then fan out per cluster.
+
+        Routing is a single exact search of the query block against the
+        medoid collection — one GEMM for the whole batch instead of one
+        matrix-vector pass per query — after which each query's
+        targeted in-cluster scan proceeds exactly as in sequential
+        :meth:`_score_all`.
+        """
+        with self.metrics.timer("cts.encode"):
+            block = np.stack([self.embeddings.encode_query(q) for q in queries])
+        medoids = self.database.get_collection("medoids")
+        with self.metrics.timer("cts.route"):
+            routed_lists = medoids.search_batch(block, k=self.top_clusters)
+        out: list[list[RelationMatch]] = []
+        with self.metrics.timer("cts.scan"):
+            for q, routed in zip(block, routed_lists):
+                out.append(self._targeted_scan(q, routed))
+        return out
+
+    def _targeted_scan(
+        self, q: np.ndarray, routed: list[ScoredPoint]
+    ) -> list[RelationMatch]:
         # Per routed cluster, keep the best ``per_cluster_candidates``
         # DISTINCT member values by cosine similarity to the query in
         # the encoder's space, then expand each kept value to every

@@ -8,11 +8,13 @@ always compared over identical embeddings.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from repro.core.anns import ANNSearch
 from repro.core.base import SearchMethod
 from repro.core.cts import ClusteredTargetedSearch
 from repro.core.exhaustive import ExhaustiveSearch
-from repro.core.results import SearchResult
+from repro.core.results import BatchResult, SearchResult
 from repro.core.semimg import (
     FederationEmbeddings,
     build_federation_embeddings,
@@ -24,6 +26,7 @@ from repro.embedding.base import SentenceEncoder
 from repro.embedding.cache import CachingEncoder
 from repro.embedding.semantic import SemanticHashEncoder
 from repro.errors import ConfigurationError, NotFittedError
+from repro.obs import MetricsRegistry
 
 __all__ = ["DiscoveryEngine"]
 
@@ -68,6 +71,9 @@ class DiscoveryEngine:
             raise ConfigurationError(f"unknown methods in method_params: {sorted(unknown)}")
         self._embeddings: FederationEmbeddings | None = None
         self._methods: dict[str, SearchMethod] = {}
+        #: Shared observability registry: every method and its vector-db
+        #: collections record counters and per-stage latencies here.
+        self.metrics = MetricsRegistry()
 
     # -- indexing -----------------------------------------------------------
 
@@ -118,6 +124,9 @@ class DiscoveryEngine:
         """Get (building if needed) a search method's index."""
         if name not in self._methods:
             method = self._make_method(name)
+            # Share the engine's registry BEFORE index() so index-time
+            # structures (vector-db collections) report into it too.
+            method.metrics = self.metrics
             method.index(self.embeddings)
             self._methods[name] = method
         return self._methods[name]
@@ -134,7 +143,30 @@ class DiscoveryEngine:
         self, query: str, method: str = "cts", k: int = 10, h: float = 0.0
     ) -> SearchResult:
         """Answer a keyword query with the chosen algorithm."""
+        self.metrics.counter("engine.queries").inc()
         return self.method(method).search(query, k=k, h=h)
+
+    def search_batch(
+        self,
+        queries: Iterable[str],
+        method: str = "cts",
+        k: int = 10,
+        h: float = 0.0,
+        workers: int = 1,
+    ) -> BatchResult:
+        """Answer many queries in one call, amortizing shared work.
+
+        Rankings and scores are element-wise equivalent to calling
+        :meth:`search` per query; the batched kernels encode the whole
+        block up front, scan it with matrix-matrix products (ExS),
+        batch candidate retrieval (ANNS) or medoid routing (CTS), and
+        — with ``workers > 1`` — spread the scan over a thread pool.
+        Per-stage latencies land in :attr:`metrics`.
+        """
+        queries = list(queries)
+        self.metrics.counter("engine.queries").inc(len(queries))
+        self.metrics.counter("engine.batches").inc()
+        return self.method(method).search_batch(queries, k=k, h=h, workers=workers)
 
     def search_all_methods(
         self, query: str, k: int = 10, h: float = 0.0

@@ -8,10 +8,14 @@ averaging over all attributes dilutes relevance on focused queries.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
-from repro.core.base import SearchMethod
+from repro.core.base import SearchMethod, even_chunks
 from repro.core.results import RelationMatch
+from repro.core.semimg import RelationEmbedding
 
 __all__ = ["ExhaustiveSearch"]
 
@@ -33,6 +37,8 @@ class ExhaustiveSearch(SearchMethod):
         mirrors that per-attribute loop (and its cost profile — ExS is
         the paper's slowest method by an order of magnitude).  Set
         True for a batched matrix scan that produces identical scores.
+        :meth:`search_batch` always scans in matrix form: it scores the
+        whole ``(Q, d)`` query block against each relation in one GEMM.
     """
 
     name = "exs"
@@ -58,31 +64,103 @@ class ExhaustiveSearch(SearchMethod):
         pass
 
     def _score_all(self, query: str) -> list[RelationMatch]:
-        q = self.embeddings.encode_query(query)
+        with self.metrics.timer("exs.encode"):
+            q = self.embeddings.encode_query(query)
         matches = []
-        for rel in self.embeddings.relations:
-            if self.vectorized:
-                sims = rel.vectors @ q  # unit vectors: dot == cosine
-            else:
-                # Algorithm 1: "foreach Attribute v in r: compute the
-                # similarity score s between q' and w".
-                sims = np.fromiter(
-                    (float(np.dot(rel.vectors[i], q)) for i in range(rel.n_unique)),
-                    dtype=np.float64,
-                    count=rel.n_unique,
+        with self.metrics.timer("exs.scan"):
+            for rel in self.embeddings.relations:
+                if self.vectorized:
+                    sims = rel.vectors @ q  # unit vectors: dot == cosine
+                else:
+                    # Algorithm 1: "foreach Attribute v in r: compute the
+                    # similarity score s between q' and w".
+                    sims = np.fromiter(
+                        (float(np.dot(rel.vectors[i], q)) for i in range(rel.n_unique)),
+                        dtype=np.float64,
+                        count=rel.n_unique,
+                    )
+                if self.aggregate == "mean":
+                    # Multiplicity-weighted mean == mean over all occurrences.
+                    score = float(np.average(sims, weights=rel.counts))
+                else:
+                    keep = max(1, int(np.ceil(self.top_fraction * sims.shape[0])))
+                    top = np.partition(sims, sims.shape[0] - keep)[-keep:]
+                    score = float(top.mean())
+                matches.append(
+                    RelationMatch(
+                        relation_id=rel.relation_id,
+                        score=score,
+                        details={"n_values": rel.n_cells},
+                    )
                 )
-            if self.aggregate == "mean":
-                # Multiplicity-weighted mean == mean over all occurrences.
-                score = float(np.average(sims, weights=rel.counts))
-            else:
-                keep = max(1, int(np.ceil(self.top_fraction * sims.shape[0])))
-                top = np.partition(sims, sims.shape[0] - keep)[-keep:]
-                score = float(top.mean())
-            matches.append(
-                RelationMatch(
-                    relation_id=rel.relation_id,
-                    score=score,
-                    details={"n_values": rel.n_cells},
+        return matches
+
+    # -- batched scan ------------------------------------------------------
+
+    def _encode_block(self, queries: Sequence[str]) -> np.ndarray:
+        """The ``(Q, d)`` matrix of encoded query vectors."""
+        with self.metrics.timer("exs.encode"):
+            return np.stack([self.embeddings.encode_query(q) for q in queries])
+
+    def _scan_relations(
+        self, query_block: np.ndarray, relations: Sequence[RelationEmbedding]
+    ) -> list[list[RelationMatch]]:
+        """Score every query against ``relations``, one GEMM per relation.
+
+        ``rel.vectors @ query_block.T`` is an ``(n_unique, Q)`` product:
+        the per-query columns see exactly the values the sequential scan
+        sees, but the hardware sees one matrix-matrix multiply instead
+        of Q matrix-vector passes over the same memory.
+        """
+        block_t = np.ascontiguousarray(query_block.T)
+        n_queries = query_block.shape[0]
+        per_query: list[list[RelationMatch]] = [[] for _ in range(n_queries)]
+        with self.metrics.timer("exs.scan"):
+            for rel in relations:
+                sims = rel.vectors @ block_t  # (n_unique, Q)
+                if self.aggregate == "mean":
+                    scores = np.average(sims, weights=rel.counts, axis=0)
+                else:
+                    keep = max(1, int(np.ceil(self.top_fraction * sims.shape[0])))
+                    top = np.partition(sims, sims.shape[0] - keep, axis=0)
+                    scores = top[sims.shape[0] - keep :].mean(axis=0)
+                for b in range(n_queries):
+                    per_query[b].append(
+                        RelationMatch(
+                            relation_id=rel.relation_id,
+                            score=float(scores[b]),
+                            details={"n_values": rel.n_cells},
+                        )
+                    )
+        return per_query
+
+    def _score_batch(self, queries: Sequence[str]) -> list[list[RelationMatch]]:
+        return self._scan_relations(self._encode_block(queries), self.embeddings.relations)
+
+    def _score_batch_parallel(
+        self, queries: Sequence[str], workers: int
+    ) -> list[list[RelationMatch]]:
+        """Chunk the *relations* (not the queries) across the pool.
+
+        ExS work scales with federation size, not query count, so the
+        scan parallelizes along relations; each worker runs the batched
+        GEMM over its slice and the per-query score lists are stitched
+        back together in relation order.
+        """
+        relations = self.embeddings.relations
+        chunks = even_chunks(len(relations), workers)
+        block = self._encode_block(queries)
+        if len(chunks) < 2:
+            return self._scan_relations(block, relations)
+        with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+            parts = list(
+                pool.map(
+                    lambda c: self._scan_relations(block, [relations[i] for i in c]),
+                    chunks,
                 )
             )
-        return matches
+        merged: list[list[RelationMatch]] = [[] for _ in queries]
+        for part in parts:
+            for b, matches in enumerate(part):
+                merged[b].extend(matches)
+        return merged

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["RelationMatch", "SearchResult"]
+__all__ = ["BatchResult", "RelationMatch", "SearchResult", "same_ranking"]
 
 
 @dataclass(frozen=True)
@@ -52,3 +52,41 @@ class SearchResult:
     def top(self) -> RelationMatch | None:
         """Best match, or None when nothing passed the threshold."""
         return self.matches[0] if self.matches else None
+
+
+class BatchResult(list):
+    """Results of one batched call: a list of :class:`SearchResult`,
+    one per query in submission order, plus batch-level timing.
+
+    Per-query ``elapsed_ms`` inside a batch is the amortized share of
+    the batch's wall clock — the whole point of batching is that the
+    per-query cost is not separable.
+    """
+
+    def __init__(self, results: list[SearchResult], elapsed_ms: float = 0.0):
+        super().__init__(results)
+        self.elapsed_ms = elapsed_ms
+
+    @property
+    def queries_per_second(self) -> float:
+        """Batch throughput; 0 for an empty or instantaneous batch."""
+        if not self or self.elapsed_ms <= 0.0:
+            return 0.0
+        return len(self) / (self.elapsed_ms / 1000.0)
+
+
+def same_ranking(
+    a: SearchResult, b: SearchResult, score_tol: float = 1e-9
+) -> bool:
+    """Whether two results rank the same relations with the same scores.
+
+    Scores are compared within ``score_tol``: batched kernels sum the
+    very same products as the sequential ones, but BLAS may order the
+    reductions differently, which moves the last bits.
+    """
+    if a.relation_ids() != b.relation_ids():
+        return False
+    return all(
+        abs(ma.score - mb.score) <= score_tol
+        for ma, mb in zip(a.matches, b.matches)
+    )

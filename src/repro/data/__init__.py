@@ -21,8 +21,8 @@ matching targets (Figure 1).
 
 from repro.data.corpus import Corpus, DatasetScale
 from repro.data.covid import covid_federation
-from repro.data.export import export_corpus, load_corpus
 from repro.data.edp import generate_edp_corpus
+from repro.data.export import export_corpus, load_corpus
 from repro.data.queries import QueryCategory, QuerySpec
 from repro.data.topics import TOPICS, Topic
 from repro.data.wikitables import generate_wikitables_corpus

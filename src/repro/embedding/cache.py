@@ -7,6 +7,7 @@ when vectorizing a federation.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Sequence
 
@@ -35,6 +36,9 @@ class CachingEncoder(SentenceEncoder):
         self.delegate = delegate
         self.max_size = max_size
         self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
+        # Batched search paths may encode from pool threads; the LRU's
+        # get/move_to_end/evict sequence must not interleave.
+        self._cache_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -46,23 +50,25 @@ class CachingEncoder(SentenceEncoder):
         out = np.empty((len(texts), self.dim), dtype=np.float64)
         missing_positions: list[int] = []
         missing_texts: list[str] = []
-        for i, text in enumerate(texts):
-            cached = self._cache.get(text)
-            if cached is not None:
-                self._cache.move_to_end(text)
-                out[i] = cached
-                self.hits += 1
-            else:
-                missing_positions.append(i)
-                missing_texts.append(text)
-                self.misses += 1
+        with self._cache_lock:
+            for i, text in enumerate(texts):
+                cached = self._cache.get(text)
+                if cached is not None:
+                    self._cache.move_to_end(text)
+                    out[i] = cached
+                    self.hits += 1
+                else:
+                    missing_positions.append(i)
+                    missing_texts.append(text)
+                    self.misses += 1
         if missing_texts:
             fresh = self.delegate.encode(missing_texts)
-            for pos, text, vec in zip(missing_positions, missing_texts, fresh):
-                out[pos] = vec
-                self._cache[text] = vec
-                if len(self._cache) > self.max_size:
-                    self._cache.popitem(last=False)
+            with self._cache_lock:
+                for pos, text, vec in zip(missing_positions, missing_texts, fresh):
+                    out[pos] = vec
+                    self._cache[text] = vec
+                    if len(self._cache) > self.max_size:
+                        self._cache.popitem(last=False)
         return out
 
     def cache_info(self) -> dict[str, int]:
@@ -71,6 +77,7 @@ class CachingEncoder(SentenceEncoder):
 
     def clear(self) -> None:
         """Empty the cache and reset counters."""
-        self._cache.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._cache_lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0

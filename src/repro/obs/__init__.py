@@ -1,0 +1,12 @@
+"""Observability: counters, latency histograms and per-stage timers.
+
+The serving stack (engine → search methods → vector database) shares
+one :class:`MetricsRegistry` so benchmarks, tests and future serving
+code read the same instrumentation vocabulary: ``engine.*`` counters,
+``<method>.<stage>`` stage timers (encode / scan / route / rank) and
+``vectordb.*`` scan counters.
+"""
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, Timer
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "Timer"]

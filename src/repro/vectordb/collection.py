@@ -21,6 +21,7 @@ from repro.errors import (
 )
 from repro.linalg.distances import Metric, pairwise_similarity
 from repro.linalg.topk import top_k_indices
+from repro.obs import MetricsRegistry
 from repro.vectordb.filters import Filter
 from repro.vectordb.index import IndexKind, make_index
 
@@ -57,14 +58,26 @@ class Collection:
         Vector dimensionality; enforced on every upsert.
     metric:
         Similarity metric used by searches.
+    metrics:
+        Observability registry the collection records scan counters and
+        latency into; a private registry is created when not given, so
+        recording is unconditional and an engine can inject its shared
+        one.
     """
 
-    def __init__(self, name: str, dim: int, metric: Metric = Metric.COSINE):
+    def __init__(
+        self,
+        name: str,
+        dim: int,
+        metric: Metric = Metric.COSINE,
+        metrics: MetricsRegistry | None = None,
+    ):
         if dim < 1:
             raise CollectionError("dim must be >= 1")
         self.name = name
         self.dim = dim
         self.metric = metric
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._ids: list[int | str] = []
         self._id_to_row: dict[int | str, int] = {}
         self._vectors = np.empty((0, dim), dtype=np.float64)
@@ -190,9 +203,74 @@ class Collection:
             raise DimensionMismatchError(
                 f"query dim {query.shape[0]} != collection dim {self.dim}"
             )
-        if self._index is not None:
-            return self._search_indexed(query, k, filter, with_vectors, ef, rescore)
-        return self._search_exact(query, k, filter, with_vectors)
+        self.metrics.counter("vectordb.searches").inc()
+        with self.metrics.timer("vectordb.scan"):
+            if self._index is not None:
+                return self._search_indexed(query, k, filter, with_vectors, ef, rescore)
+            return self._search_exact(query, k, filter, with_vectors)
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        filter: Filter | None = None,
+        with_vectors: bool = False,
+        ef: int | None = None,
+        rescore: bool = False,
+    ) -> list[list[ScoredPoint]]:
+        """Top-k points for each row of a ``(Q, dim)`` query block.
+
+        Exact (index-less) collections answer the whole block with one
+        similarity GEMM followed by per-row top-k selection; indexed
+        collections probe the index per query but amortize validation
+        and staleness checks across the block.  Per-query results are
+        identical to :meth:`search` up to BLAS reduction order.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.ndim != 2:
+            raise DimensionMismatchError("search_batch expects a (Q, dim) query block")
+        if queries.shape[0] and queries.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                f"query dim {queries.shape[1]} != collection dim {self.dim}"
+            )
+        n_queries = queries.shape[0]
+        if len(self) == 0 or n_queries == 0:
+            return [[] for _ in range(n_queries)]
+        self.metrics.counter("vectordb.searches").inc(n_queries)
+        self.metrics.counter("vectordb.batches").inc()
+        with self.metrics.timer("vectordb.scan"):
+            if self._index is not None:
+                self._ensure_index_fresh()
+                return [
+                    self._search_indexed(q, k, filter, with_vectors, ef, rescore)
+                    for q in queries
+                ]
+            return self._search_exact_batch(queries, k, filter, with_vectors)
+
+    def _search_exact_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        filter: Filter | None,
+        with_vectors: bool,
+    ) -> list[list[ScoredPoint]]:
+        if filter is not None:
+            rows = [r for r in range(len(self)) if filter.test(self._payloads[r])]
+            if not rows:
+                return [[] for _ in range(queries.shape[0])]
+            rows_arr = np.asarray(rows, dtype=np.intp)
+            matrix = self._vectors[rows_arr]
+        else:
+            rows_arr = np.arange(len(self), dtype=np.intp)
+            matrix = self._vectors
+        self.metrics.counter("vectordb.points_scanned").inc(
+            queries.shape[0] * matrix.shape[0]
+        )
+        scores = pairwise_similarity(queries, matrix, self.metric)
+        return [
+            [self._scored(int(rows_arr[i]), float(row[i]), with_vectors) for i in top_k_indices(row, k)]
+            for row in scores
+        ]
 
     def _search_exact(
         self,
@@ -210,6 +288,7 @@ class Collection:
         else:
             rows_arr = np.arange(len(self), dtype=np.intp)
             matrix = self._vectors
+        self.metrics.counter("vectordb.points_scanned").inc(matrix.shape[0])
         scores = pairwise_similarity(query, matrix, self.metric)[0]
         best = top_k_indices(scores, k)
         return [self._scored(int(rows_arr[i]), float(scores[i]), with_vectors) for i in best]
@@ -225,6 +304,7 @@ class Collection:
     ) -> list[ScoredPoint]:
         assert self._index is not None
         self._ensure_index_fresh()
+        self.metrics.counter("vectordb.index_probes").inc()
         fetch = k if filter is None else max(4 * k, 32)
         if rescore:
             fetch = max(fetch, int(1.5 * k))  # headroom for re-sorting

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.errors import CollectionExistsError, CollectionNotFoundError
 from repro.linalg.distances import Metric
+from repro.obs import MetricsRegistry
 from repro.vectordb.collection import Collection, Point
 
 __all__ = ["VectorDatabase"]
@@ -21,21 +22,24 @@ class VectorDatabase:
 
     Collections are created with :meth:`create_collection`, addressed by
     name, and can be persisted to / restored from a snapshot directory
-    (vectors as ``.npz``, payloads and config as JSON).
+    (vectors as ``.npz``, payloads and config as JSON).  A shared
+    :class:`MetricsRegistry` may be passed in so every collection's
+    scan counters land in one place (search methods pass the engine's).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         self._collections: dict[str, Collection] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # -- collection management -------------------------------------------
 
     def create_collection(
         self, name: str, dim: int, metric: Metric = Metric.COSINE
     ) -> Collection:
-        """Create a new named collection."""
+        """Create a new named collection (wired to the db's metrics)."""
         if name in self._collections:
             raise CollectionExistsError(f"collection {name!r} already exists")
-        collection = Collection(name, dim, metric)
+        collection = Collection(name, dim, metric, metrics=self.metrics)
         self._collections[name] = collection
         return collection
 

@@ -1,6 +1,5 @@
 """Tests for the synthetic corpora, queries and qrels generators."""
 
-import numpy as np
 import pytest
 
 from repro.data import (

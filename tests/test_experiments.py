@@ -4,6 +4,7 @@ import pytest
 
 from repro.data.corpus import DatasetScale
 from repro.data.queries import QueryCategory
+from repro.eval.splits import train_test_split_pairs
 from repro.experiments import (
     ExperimentConfig,
     format_quality_table,
@@ -15,7 +16,6 @@ from repro.experiments import (
 from repro.experiments.config import ALL_METHODS, CORE_METHODS
 from repro.experiments.quality import make_corpus, prepare_methods
 from repro.experiments.timing import timing_rows
-from repro.eval.splits import train_test_split_pairs
 
 
 @pytest.fixture(scope="module")

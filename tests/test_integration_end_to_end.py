@@ -5,7 +5,6 @@ generate a corpus, index it, search with every method, evaluate against
 the generated ground truth, persist and restore.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import make_baseline

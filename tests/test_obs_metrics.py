@@ -1,0 +1,142 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_thread_safety(self):
+        counter = Counter("c")
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 40_000
+
+
+class TestHistogram:
+    def test_empty_summary_is_zero(self):
+        h = Histogram("h")
+        assert h.count == 0
+        assert h.percentile(50) == 0.0
+        assert h.summary()["p99_ms"] == 0.0
+
+    def test_percentiles_nearest_rank(self):
+        h = Histogram("h")
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        assert h.percentile(50) == 50
+        assert h.percentile(95) == 95
+        assert h.percentile(99) == 99
+        assert h.percentile(100) == 100
+        assert h.max == 100
+        assert h.mean == pytest.approx(50.5)
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(101)
+
+    def test_summary_keys(self):
+        h = Histogram("h")
+        h.observe(2.0)
+        summary = h.summary()
+        assert set(summary) == {
+            "count",
+            "total_ms",
+            "mean_ms",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "max_ms",
+        }
+        assert summary["count"] == 1
+        assert summary["total_ms"] == pytest.approx(2.0)
+
+
+class TestMetricsRegistry:
+    def test_counter_and_histogram_are_memoized(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+
+    def test_timer_records_elapsed_ms(self):
+        registry = MetricsRegistry()
+        with registry.timer("stage") as timer:
+            time.sleep(0.005)
+        assert timer.elapsed_ms >= 4.0
+        assert registry.histogram("stage").count == 1
+
+    def test_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("queries").inc(3)
+        with registry.timer("scan"):
+            pass
+        snap = registry.snapshot()
+        assert snap["counters"] == {"queries": 3}
+        assert "scan" in snap["stages"]
+        assert snap["stages"]["scan"]["count"] == 1
+        assert snap["stages"]["scan"]["p50_ms"] <= snap["stages"]["scan"]["p99_ms"]
+
+    def test_format_table_mentions_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.queries").inc()
+        with registry.timer("exs.scan"):
+            pass
+        table = registry.format_table()
+        assert "engine.queries" in table
+        assert "exs.scan" in table
+        assert "p95" in table
+
+    def test_reset_zeroes_but_keeps_instruments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(7)
+        registry.histogram("h").observe(1.0)
+        registry.reset()
+        assert registry.counter("c") is counter
+        assert counter.value == 0
+        assert registry.histogram("h").count == 0
+
+    def test_concurrent_timers(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(200):
+                with registry.timer("stage"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.histogram("stage").count == 800
