@@ -15,6 +15,7 @@ from repro.core.anns import ANNSearch
 from repro.core.cts import ClusteredTargetedSearch
 from repro.core.engine import DiscoveryEngine
 from repro.core.exhaustive import ExhaustiveSearch
+from repro.core.lifecycle import FederationDelta, RWLock
 from repro.core.results import BatchResult, RelationMatch, SearchResult, same_ranking
 from repro.core.semimg import (
     FederationEmbeddings,
@@ -31,7 +32,9 @@ __all__ = [
     "ClusteredTargetedSearch",
     "DiscoveryEngine",
     "ExhaustiveSearch",
+    "FederationDelta",
     "FederationEmbeddings",
+    "RWLock",
     "RelationEmbedding",
     "RelationMatch",
     "SearchResult",

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.base import SearchMethod
 from repro.core.results import RelationMatch
+from repro.core.semimg import RelationEmbedding
 from repro.linalg.distances import Metric
 from repro.vectordb.collection import Point, ScoredPoint
 from repro.vectordb.database import VectorDatabase
@@ -88,6 +89,9 @@ class ANNSearch(SearchMethod):
         self.evidence_size = evidence_size
         self.seed = seed
         self._db: VectorDatabase | None = None
+        self._value_ids: dict[str, int] = {}
+        self._relation_values: dict[str, list[str]] = {}
+        self._next_id = 0
 
     @property
     def database(self) -> VectorDatabase:
@@ -146,6 +150,82 @@ class ANNSearch(SearchMethod):
         collection.upsert(points)
         collection.create_index(self.index_kind, **self._index_params())
         self._db = db
+        # Lifecycle bookkeeping: value text -> point id, relation ->
+        # value texts it contributed.  Deltas translate into point-level
+        # upsert/delete against the collection via these maps.
+        self._value_ids = {value: i for i, value in enumerate(owners)}
+        self._next_id = len(owners)
+        self._relation_values = {}
+        for rel in self.embeddings.relations:
+            self._relation_values[rel.relation_id] = list(rel.values)
+
+    def _apply_delta(
+        self,
+        added: list[RelationEmbedding],
+        updated: list[RelationEmbedding],
+        removed: list[str],
+    ) -> None:
+        """Translate a federation delta into collection upsert/delete.
+
+        Retiring a relation strips its entries from each of its values'
+        ``owners`` payload; points left with no owners are deleted.
+        Fresh relations upsert — existing value points (the vector for
+        a given text is canonical) gain owner entries, genuinely new
+        values become new points.  The collection's own index-staleness
+        handling rebuilds the ANN graph lazily on the next search.
+        """
+        collection = self.database.get_collection("values")
+        drop_ids = list(removed) + [r.relation_id for r in updated]
+        dropped = set(drop_ids)
+        affected: dict[str, None] = {}  # ordered value set
+        for rid in drop_ids:
+            for value in self._relation_values.pop(rid, ()):
+                affected[value] = None
+        to_delete: list[int] = []
+        to_upsert: list[Point] = []
+        for value in affected:
+            point_id = self._value_ids[value]
+            point = collection.get(point_id)
+            owners = [o for o in point.payload["owners"] if o[0] not in dropped]
+            if owners:
+                to_upsert.append(
+                    Point(id=point_id, vector=point.vector, payload={"value": value, "owners": owners})
+                )
+            else:
+                to_delete.append(point_id)
+                del self._value_ids[value]
+        pending: dict[int, Point] = {p.id: p for p in to_upsert}
+        for rel in updated + added:
+            self._relation_values[rel.relation_id] = list(rel.values)
+            for row in range(rel.n_unique):
+                value = rel.values[row]
+                entry = [rel.relation_id, rel.attr_names[row], int(rel.counts[row])]
+                point_id = self._value_ids.get(value)
+                if point_id is None:
+                    point_id = self._next_id
+                    self._next_id += 1
+                    self._value_ids[value] = point_id
+                    pending[point_id] = Point(
+                        id=point_id,
+                        vector=rel.vectors[row],
+                        payload={"value": value, "owners": [entry]},
+                    )
+                elif point_id in pending:
+                    pending[point_id].payload["owners"].append(entry)
+                else:
+                    point = collection.get(point_id)
+                    pending[point_id] = Point(
+                        id=point_id,
+                        vector=point.vector,
+                        payload={
+                            "value": value,
+                            "owners": list(point.payload["owners"]) + [entry],
+                        },
+                    )
+        if pending:
+            collection.upsert(list(pending.values()))
+        if to_delete:
+            collection.delete(to_delete)
 
     def _candidate_budget(self) -> int:
         """How many nearest value vectors each query retrieves."""

@@ -8,7 +8,7 @@ from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.results import BatchResult, RelationMatch, SearchResult
-from repro.core.semimg import FederationEmbeddings
+from repro.core.semimg import FederationEmbeddings, RelationEmbedding
 from repro.errors import NotFittedError
 from repro.obs import MetricsRegistry
 
@@ -70,11 +70,49 @@ class SearchMethod(abc.ABC):
         """Build this method's data structures over the federation."""
         self._embeddings = embeddings
         self._build()
+        self.metrics.gauge(f"{self.name}.generation").set(embeddings.generation)
         return self
 
     @abc.abstractmethod
     def _build(self) -> None:
         """Method-specific index construction (may be a no-op)."""
+
+    # -- incremental lifecycle ---------------------------------------------
+
+    def apply_delta(
+        self,
+        added: Sequence[RelationEmbedding],
+        updated: Sequence[RelationEmbedding],
+        removed: Sequence[str],
+    ) -> None:
+        """Absorb one store delta into this method's index.
+
+        Called after the shared :class:`FederationEmbeddings` store has
+        been mutated: ``added``/``updated`` carry the new embeddings
+        (already present in the store), ``removed`` the retired
+        relation ids.  The contract, enforced by property tests, is
+        that search results afterwards match a from-scratch
+        :meth:`index` of the store's current state.  Subclasses
+        override :meth:`_apply_delta` with cheaper-than-rebuild
+        maintenance; the default rebuilds the method's structures from
+        the store (which never re-embeds anything).
+        """
+        if self._embeddings is None:
+            raise NotFittedError(f"{type(self).__name__} used before index()")
+        with self.metrics.timer(f"{self.name}.delta_ms"):
+            self._apply_delta(list(added), list(updated), list(removed))
+        self.metrics.counter(f"{self.name}.deltas").inc()
+        self.metrics.gauge(f"{self.name}.generation").set(self._embeddings.generation)
+
+    def _apply_delta(
+        self,
+        added: list[RelationEmbedding],
+        updated: list[RelationEmbedding],
+        removed: list[str],
+    ) -> None:
+        """Method-specific delta maintenance; default is a full rebuild
+        of the derived structures (no re-embedding)."""
+        self._build()
 
     @abc.abstractmethod
     def _score_all(self, query: str) -> list[RelationMatch]:
@@ -131,7 +169,7 @@ class SearchMethod(abc.ABC):
             parts = list(
                 pool.map(lambda c: self._score_batch([queries[i] for i in c]), chunks)
             )
-        out: list[list[RelationMatch]] = [None] * len(queries)  # type: ignore[list-item]
+        out: list[list[RelationMatch]] = [[] for _ in range(len(queries))]
         for chunk, part in zip(chunks, parts):
             for i, matches in zip(chunk, part):
                 out[i] = matches
@@ -156,6 +194,11 @@ class SearchMethod(abc.ABC):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         queries = list(queries)
+        # Count the batch before the empty-list early return so the
+        # method-level counter agrees with the engine-level one, which
+        # counts every search_batch call it forwards.
+        self.metrics.counter(f"{self.name}.batches").inc()
+        self.metrics.counter(f"{self.name}.queries").inc(len(queries))
         if not queries:
             return BatchResult([], elapsed_ms=0.0)
         start = time.perf_counter()
@@ -166,8 +209,6 @@ class SearchMethod(abc.ABC):
         per_query = [self._finalize(matches, k, h) for matches in scored]
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         amortized_ms = elapsed_ms / len(queries)
-        self.metrics.counter(f"{self.name}.queries").inc(len(queries))
-        self.metrics.counter(f"{self.name}.batches").inc()
         self.metrics.histogram(f"{self.name}.batch_ms").observe(elapsed_ms)
         latency = self.metrics.histogram(f"{self.name}.latency_ms")
         for _ in queries:

@@ -76,6 +76,15 @@ class ClusteredTargetedSearch(SearchMethod):
         transform: distances to a fixed set of landmark points (all
         cluster medoids plus a random sample) instead of the full
         training set, keeping query cost independent of corpus size.
+    drift_threshold:
+        Incremental-lifecycle knob.  Federation deltas maintain the
+        clustering partially — new/updated values are assigned to
+        their nearest existing medoid — while a drift statistic
+        accumulates: the fraction of points assigned post-hoc since
+        the last clustering, plus the mean medoid displacement
+        (normalized by the build-time inter-medoid distance).  When
+        drift exceeds this threshold the index re-clusters from
+        scratch automatically (``cts.rebuilds`` counts these).
     seed:
         Seed shared by the reduction pipeline.
     """
@@ -95,6 +104,7 @@ class ClusteredTargetedSearch(SearchMethod):
         cluster_selection_method: str = "leaf",
         evidence_size: int = 16,
         n_landmarks: int = 256,
+        drift_threshold: float = 0.25,
         seed: int = 0,
     ) -> None:
         super().__init__()
@@ -115,6 +125,9 @@ class ClusteredTargetedSearch(SearchMethod):
             raise ConfigurationError("evidence_size must be >= 1")
         self.evidence_size = evidence_size
         self.n_landmarks = n_landmarks
+        if drift_threshold <= 0.0:
+            raise ConfigurationError("drift_threshold must be > 0")
+        self.drift_threshold = drift_threshold
         self.seed = seed
 
         self._db: VectorDatabase | None = None
@@ -131,6 +144,15 @@ class ClusteredTargetedSearch(SearchMethod):
         self._rep_rows: np.ndarray | None = None
         self._labels_unique: np.ndarray | None = None
         self._unique_to_rows: list[np.ndarray] = []
+        # Incremental lifecycle state: per-value cluster assignments and
+        # reduced coordinates survive deltas, so partial maintenance
+        # only has to place values it has never seen.
+        self._cluster_of_value: dict[str, int] = {}
+        self._reduced_of_value: dict[str, np.ndarray] = {}
+        self._medoid_value: dict[int, str] = {}
+        self._medoid_reduced_at_build: dict[int, np.ndarray] = {}
+        self._medoid_scale = 1.0
+        self._drift_assigned = 0
 
     # -- offline indexing --------------------------------------------------
 
@@ -148,11 +170,24 @@ class ClusteredTargetedSearch(SearchMethod):
         # the distinct vectors and broadcasting labels back restores
         # the semantic neighbourhood structure (and shrinks the
         # quadratic MST/kNN work).
-        rep_rows, row_to_unique = self._unique_rows()
+        rep_rows, row_to_unique, unique_values = self._unique_rows()
         reduced_unique = self._reduce(self._stacked[rep_rows])
         labels_unique = self._cluster(reduced_unique)
         labels_unique = self._absorb_noise(reduced_unique, labels_unique)
         self._pick_landmarks(reduced_unique)
+        # Lifecycle anchors: per-value assignments plus the build-time
+        # medoid positions drift is measured against.
+        self._cluster_of_value = {
+            v: int(labels_unique[u]) for u, v in enumerate(unique_values)
+        }
+        self._reduced_of_value = {v: reduced_unique[u] for u, v in enumerate(unique_values)}
+        self._medoid_value = {cid: unique_values[u] for cid, u in self._medoid_rows.items()}
+        self._medoid_reduced_at_build = {
+            cid: reduced_unique[u].copy() for cid, u in self._medoid_rows.items()
+        }
+        self._medoid_scale = self._inter_medoid_scale()
+        self._drift_assigned = 0
+        self.metrics.gauge("cts.drift").set(0.0)
         # Map medoids from unique-space indices to full-row indices so
         # original-space lookups work.
         self._medoid_rows = {
@@ -161,19 +196,16 @@ class ClusteredTargetedSearch(SearchMethod):
         self._labels = labels_unique[row_to_unique]
         self._rep_rows = rep_rows
         self._labels_unique = labels_unique
-        # unique index -> all full rows carrying that value
-        order = np.argsort(row_to_unique, kind="stable")
-        boundaries = np.searchsorted(row_to_unique[order], np.arange(len(rep_rows) + 1))
-        self._unique_to_rows = [
-            order[boundaries[u] : boundaries[u + 1]] for u in range(len(rep_rows))
-        ]
+        self._unique_to_rows = self._index_unique_rows(row_to_unique, len(rep_rows))
         self._populate_database(reduced_unique[row_to_unique], self._labels)
 
-    def _unique_rows(self) -> tuple[np.ndarray, np.ndarray]:
-        """First-occurrence row per distinct value text + row mapping."""
+    def _unique_rows(self) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """First-occurrence row per distinct value text, row mapping,
+        and the value texts in unique-index order."""
         first: dict[str, int] = {}
         rep_rows: list[int] = []
         mapping: list[int] = []
+        unique_values: list[str] = []
         for rel in self.embeddings.relations:
             for value in rel.values:
                 uidx = first.get(value)
@@ -181,8 +213,158 @@ class ClusteredTargetedSearch(SearchMethod):
                     uidx = len(rep_rows)
                     first[value] = uidx
                     rep_rows.append(len(mapping))
+                    unique_values.append(value)
                 mapping.append(uidx)
-        return np.asarray(rep_rows, dtype=np.intp), np.asarray(mapping, dtype=np.intp)
+        return (
+            np.asarray(rep_rows, dtype=np.intp),
+            np.asarray(mapping, dtype=np.intp),
+            unique_values,
+        )
+
+    @staticmethod
+    def _index_unique_rows(row_to_unique: np.ndarray, n_unique: int) -> list[np.ndarray]:
+        """unique index -> all full rows carrying that value."""
+        order = np.argsort(row_to_unique, kind="stable")
+        boundaries = np.searchsorted(row_to_unique[order], np.arange(n_unique + 1))
+        return [order[boundaries[u] : boundaries[u + 1]] for u in range(n_unique)]
+
+    def _inter_medoid_scale(self) -> float:
+        """Mean pairwise distance between medoids (drift normalizer)."""
+        if len(self._medoid_reduced_at_build) < 2:
+            return 1.0
+        medoids = np.stack(list(self._medoid_reduced_at_build.values()))
+        dists = euclidean_distance(medoids, medoids)
+        n = medoids.shape[0]
+        mean = float(dists.sum() / (n * (n - 1)))
+        return mean if mean > 0.0 else 1.0
+
+    # -- incremental lifecycle ----------------------------------------------
+
+    def _apply_delta(self, added, updated, removed) -> None:
+        """Partial maintenance: keep the clustering, place new values.
+
+        The expensive offline work — kNN graph, UMAP, HDBSCAN — is kept;
+        values that survived the delta keep their cluster and reduced
+        coordinates.  New values (from added or revised relations) are
+        projected via the landmark transform and assigned to their
+        nearest existing medoid; retired values drop out and each
+        cluster's medoid is re-derived from its surviving members.  A
+        drift statistic (fraction of post-hoc assignments + normalized
+        medoid displacement since the last clustering) triggers an
+        automatic full re-cluster past :attr:`drift_threshold` —
+        partial maintenance when cheap, principled rebuild when not.
+        """
+        del added, updated, removed  # state derives from the store + value maps
+        stacked, owner = self.embeddings.stacked()
+        self._stacked = stacked.astype(np.float64)
+        self._owner = owner
+        rep_rows, row_to_unique, unique_values = self._unique_rows()
+        current = set(unique_values)
+
+        # Retired values drop their assignments.
+        for value in list(self._cluster_of_value):
+            if value not in current:
+                del self._cluster_of_value[value]
+                del self._reduced_of_value[value]
+        if not self._cluster_of_value:
+            # Nothing survived: there is no anchor clustering left to
+            # maintain, so re-cluster from scratch.
+            self._rebuild()
+            return
+
+        members: dict[int, list[str]] = defaultdict(list)
+        for value, cid in self._cluster_of_value.items():
+            members[cid].append(value)
+        for cid in list(self._medoid_value):
+            if cid not in members:  # cluster emptied out
+                del self._medoid_value[cid]
+                self._medoid_reduced_at_build.pop(cid, None)
+        # A surviving cluster whose medoid value was retired needs a
+        # stand-in before new values can route to it.
+        for cid, value in list(self._medoid_value.items()):
+            if value not in self._reduced_of_value:
+                coords = np.stack([self._reduced_of_value[v] for v in members[cid]])
+                self._medoid_value[cid] = members[cid][medoid_index(coords)]
+
+        # Place values this index has never seen: landmark-project, then
+        # nearest existing medoid (reduced space, same rule noise
+        # absorption uses).
+        uidx = {v: u for u, v in enumerate(unique_values)}
+        new_values = [v for v in unique_values if v not in self._cluster_of_value]
+        if new_values:
+            live_cids = sorted(members)
+            medoid_matrix = np.stack(
+                [self._reduced_of_value[self._medoid_value[cid]] for cid in live_cids]
+            )
+            for value in new_values:
+                reduced = self._reduce_query(self._stacked[rep_rows[uidx[value]]])
+                nearest = int(
+                    np.argmin(euclidean_distance(reduced[np.newaxis, :], medoid_matrix)[0])
+                )
+                cid = live_cids[nearest]
+                self._cluster_of_value[value] = cid
+                self._reduced_of_value[value] = reduced
+                members[cid].append(value)
+            self._drift_assigned += len(new_values)
+
+        # Medoids follow their clusters; displacement from the
+        # build-time position is the structural half of the drift stat.
+        for cid, vals in members.items():
+            coords = np.stack([self._reduced_of_value[v] for v in vals])
+            self._medoid_value[cid] = vals[medoid_index(coords)]
+
+        # Re-derive the query-path arrays over the new row numbering.
+        labels_unique = np.asarray(
+            [self._cluster_of_value[v] for v in unique_values], dtype=np.int64
+        )
+        self._rep_rows = rep_rows
+        self._labels_unique = labels_unique
+        self._labels = labels_unique[row_to_unique]
+        self._unique_to_rows = self._index_unique_rows(row_to_unique, len(rep_rows))
+        self._medoid_rows = {
+            cid: int(rep_rows[uidx[value]]) for cid, value in self._medoid_value.items()
+        }
+        reduced_unique = np.stack([self._reduced_of_value[v] for v in unique_values])
+        self._populate_database(reduced_unique[row_to_unique], self._labels)
+
+        drift = self.drift
+        self.metrics.gauge("cts.drift").set(drift)
+        if drift > self.drift_threshold:
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Full re-cluster over the store's current state (no re-embed)."""
+        self._build()
+        self.metrics.counter("cts.rebuilds").inc()
+
+    @property
+    def drift(self) -> float:
+        """Clustering staleness absorbed since the last re-cluster.
+
+        Sum of (a) the fraction of unique values assigned to a medoid
+        post-hoc rather than by HDBSCAN, and (b) the mean displacement
+        of cluster medoids from their build-time positions, in units of
+        the build-time inter-medoid distance.
+        """
+        n_unique = len(self._cluster_of_value)
+        if not n_unique:
+            return 0.0
+        fraction = self._drift_assigned / n_unique
+        displacements = [
+            float(
+                np.linalg.norm(
+                    self._reduced_of_value[self._medoid_value[cid]] - at_build
+                )
+            )
+            for cid, at_build in self._medoid_reduced_at_build.items()
+            if cid in self._medoid_value
+        ]
+        displacement = (
+            sum(displacements) / (len(displacements) * self._medoid_scale)
+            if displacements
+            else 0.0
+        )
+        return fraction + displacement
 
     def _reduce(self, vectors: np.ndarray) -> np.ndarray:
         """PCA (optional) then UMAP, with the kNN graph precomputed."""

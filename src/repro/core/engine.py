@@ -4,24 +4,37 @@ The engine owns the encoder and the federation's semantic
 representation, builds each method's index lazily and exactly once, and
 serves queries through a single entry point — so ExS, ANNS and CTS are
 always compared over identical embeddings.
+
+Federations churn in production, so the engine also owns the
+incremental lifecycle: :meth:`add_relations`, :meth:`update_relations`
+and :meth:`remove_relations` thread one delta through the semantic
+store and every built method index atomically.  Mutations take the
+writer side of a readers-writer lock while searches take the reader
+side, so queries in flight — including batches spread over ``workers >
+1`` thread pools — always observe a complete generation, never a torn
+one.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+import threading
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.core.anns import ANNSearch
 from repro.core.base import SearchMethod
 from repro.core.cts import ClusteredTargetedSearch
 from repro.core.exhaustive import ExhaustiveSearch
+from repro.core.lifecycle import FederationDelta, RWLock
 from repro.core.results import BatchResult, SearchResult
 from repro.core.semimg import (
     FederationEmbeddings,
+    RelationEmbedding,
     build_federation_embeddings,
+    build_relation_embedding,
     load_federation_embeddings,
     save_federation_embeddings,
 )
-from repro.datamodel.relation import Federation
+from repro.datamodel.relation import Federation, Relation
 from repro.embedding.base import SentenceEncoder
 from repro.embedding.cache import CachingEncoder
 from repro.embedding.semantic import SemanticHashEncoder
@@ -29,6 +42,9 @@ from repro.errors import ConfigurationError, NotFittedError
 from repro.obs import MetricsRegistry
 
 __all__ = ["DiscoveryEngine"]
+
+#: Accepted shapes for the relation arguments of the lifecycle API.
+RelationsLike = Mapping[str, Relation] | Iterable[tuple[str, Relation]]
 
 
 class DiscoveryEngine:
@@ -74,6 +90,10 @@ class DiscoveryEngine:
         #: Shared observability registry: every method and its vector-db
         #: collections record counters and per-stage latencies here.
         self.metrics = MetricsRegistry()
+        # Readers (searches) overlap; a writer (delta) is exclusive.
+        self._lifecycle_lock = RWLock()
+        # Serializes lazy method construction between reader threads.
+        self._build_lock = threading.Lock()
 
     # -- indexing -----------------------------------------------------------
 
@@ -81,6 +101,7 @@ class DiscoveryEngine:
         """Vectorize the federation (methods build lazily on first use)."""
         self._embeddings = build_federation_embeddings(federation, self.encoder)
         self._methods.clear()
+        self.metrics.gauge("engine.generation").set(self._embeddings.generation)
         return self
 
     @property
@@ -106,6 +127,7 @@ class DiscoveryEngine:
         """
         self._embeddings = load_federation_embeddings(path, self.encoder)
         self._methods.clear()
+        self.metrics.gauge("engine.generation").set(self._embeddings.generation)
         return self
 
     def _make_method(self, name: str) -> SearchMethod:
@@ -123,12 +145,15 @@ class DiscoveryEngine:
     def method(self, name: str) -> SearchMethod:
         """Get (building if needed) a search method's index."""
         if name not in self._methods:
-            method = self._make_method(name)
-            # Share the engine's registry BEFORE index() so index-time
-            # structures (vector-db collections) report into it too.
-            method.metrics = self.metrics
-            method.index(self.embeddings)
-            self._methods[name] = method
+            with self._build_lock:
+                if name not in self._methods:
+                    method = self._make_method(name)
+                    # Share the engine's registry BEFORE index() so
+                    # index-time structures (vector-db collections)
+                    # report into it too.
+                    method.metrics = self.metrics
+                    method.index(self.embeddings)
+                    self._methods[name] = method
         return self._methods[name]
 
     def build_all(self) -> "DiscoveryEngine":
@@ -137,14 +162,109 @@ class DiscoveryEngine:
             self.method(name)
         return self
 
+    # -- incremental lifecycle ---------------------------------------------
+
+    @staticmethod
+    def _relation_pairs(relations: RelationsLike) -> list[tuple[str, Relation]]:
+        if isinstance(relations, Mapping):
+            pairs = list(relations.items())
+        else:
+            pairs = list(relations)
+        seen: set[str] = set()
+        for relation_id, _ in pairs:
+            if relation_id in seen:
+                raise ConfigurationError(f"relation {relation_id!r} appears twice in one delta")
+            seen.add(relation_id)
+        return pairs
+
+    def add_relations(self, relations: RelationsLike) -> FederationDelta:
+        """Add new relations to the live federation.
+
+        ``relations`` maps qualified ``dataset/relation`` ids to
+        :class:`Relation` objects (a mapping or an iterable of pairs).
+        Only the new relations are embedded — encoding happens before
+        the write lock is taken, so in-flight queries are not blocked
+        by it — then the store and every built method index absorb the
+        delta atomically.
+        """
+        pairs = self._relation_pairs(relations)
+        store = self.embeddings
+        embedded = [
+            build_relation_embedding(relation_id, relation, self.encoder)
+            for relation_id, relation in pairs
+        ]
+        with self._lifecycle_lock.write():
+            for embedding in embedded:
+                if embedding.relation_id in store:
+                    raise ConfigurationError(
+                        f"relation {embedding.relation_id!r} already in federation"
+                    )
+            for embedding in embedded:
+                store.add_relation(embedding.relation_id, embedding)
+            return self._propagate(added=embedded)
+
+    def update_relations(self, relations: RelationsLike) -> FederationDelta:
+        """Re-embed revised relations and patch every built index."""
+        pairs = self._relation_pairs(relations)
+        store = self.embeddings
+        embedded = [
+            build_relation_embedding(relation_id, relation, self.encoder)
+            for relation_id, relation in pairs
+        ]
+        with self._lifecycle_lock.write():
+            for embedding in embedded:
+                store.position(embedding.relation_id)  # validate before mutating
+            for embedding in embedded:
+                store.update_relation(embedding.relation_id, embedding)
+            return self._propagate(updated=embedded)
+
+    def remove_relations(self, relation_ids: Iterable[str]) -> FederationDelta:
+        """Retire relations from the live federation."""
+        ids = list(relation_ids)
+        if len(ids) != len(set(ids)):
+            raise ConfigurationError("duplicate relation ids in one delta")
+        store = self.embeddings
+        with self._lifecycle_lock.write():
+            for relation_id in ids:
+                store.position(relation_id)  # validate before mutating
+            if store.n_relations - len(ids) < 1:
+                raise ConfigurationError("a delta may not empty the federation")
+            for relation_id in ids:
+                store.remove_relation(relation_id)
+            return self._propagate(removed=ids)
+
+    def _propagate(
+        self,
+        added: Sequence[RelationEmbedding] = (),
+        updated: Sequence[RelationEmbedding] = (),
+        removed: Sequence[str] = (),
+    ) -> FederationDelta:
+        """Thread one (already stored) delta through every built method
+        and record the lifecycle metrics.  Caller holds the write lock."""
+        store = self.embeddings
+        for method in self._methods.values():
+            method.apply_delta(added, updated, removed)
+        self.metrics.counter("engine.deltas").inc()
+        self.metrics.counter("engine.relations_added").inc(len(added))
+        self.metrics.counter("engine.relations_updated").inc(len(updated))
+        self.metrics.counter("engine.relations_removed").inc(len(removed))
+        self.metrics.gauge("engine.generation").set(store.generation)
+        return FederationDelta(
+            added=tuple(added),
+            updated=tuple(updated),
+            removed=tuple(removed),
+            generation=store.generation,
+        )
+
     # -- querying ---------------------------------------------------------------
 
     def search(
         self, query: str, method: str = "cts", k: int = 10, h: float = 0.0
     ) -> SearchResult:
         """Answer a keyword query with the chosen algorithm."""
-        self.metrics.counter("engine.queries").inc()
-        return self.method(method).search(query, k=k, h=h)
+        with self._lifecycle_lock.read():
+            self.metrics.counter("engine.queries").inc()
+            return self.method(method).search(query, k=k, h=h)
 
     def search_batch(
         self,
@@ -164,9 +284,10 @@ class DiscoveryEngine:
         Per-stage latencies land in :attr:`metrics`.
         """
         queries = list(queries)
-        self.metrics.counter("engine.queries").inc(len(queries))
-        self.metrics.counter("engine.batches").inc()
-        return self.method(method).search_batch(queries, k=k, h=h, workers=workers)
+        with self._lifecycle_lock.read():
+            self.metrics.counter("engine.queries").inc(len(queries))
+            self.metrics.counter("engine.batches").inc()
+            return self.method(method).search_batch(queries, k=k, h=h, workers=workers)
 
     def search_all_methods(
         self, query: str, k: int = 10, h: float = 0.0

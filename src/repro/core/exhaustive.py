@@ -4,6 +4,12 @@ Embed the query, compare it against *every* attribute-value vector of
 every relation, average per relation, sort, threshold, top-k.  Accurate
 but linear in the total number of values — and, as Sec 5.3 observes,
 averaging over all attributes dilutes relevance on focused queries.
+
+The scan state is one stacked ``(n_total, dim)`` matrix plus per-block
+bookkeeping (which contiguous row block belongs to which relation).
+Federation deltas patch those arrays in place — removed/updated blocks
+are masked out, fresh blocks appended — so absorbing a delta never
+re-embeds or re-stacks untouched relations.
 """
 
 from __future__ import annotations
@@ -57,40 +63,97 @@ class ExhaustiveSearch(SearchMethod):
         self.aggregate = aggregate
         self.top_fraction = top_fraction
         self.vectorized = vectorized
+        self._matrix: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+        self._block_ids: list[str] = []
+        self._block_sizes: list[int] = []
+        self._block_cells: dict[str, int] = {}
 
     def _build(self) -> None:
-        # ExS needs no auxiliary structures: the semantic representation
-        # itself is scanned at query time.
-        pass
+        # Stack every relation's vectors once; queries scan the blocks.
+        relations = self.embeddings.relations
+        self._matrix = np.vstack([r.vectors for r in relations])
+        self._counts = np.concatenate([r.counts for r in relations])
+        self._block_ids = [r.relation_id for r in relations]
+        self._block_sizes = [r.n_unique for r in relations]
+        self._block_cells = {r.relation_id: r.n_cells for r in relations}
+
+    def _apply_delta(
+        self,
+        added: list[RelationEmbedding],
+        updated: list[RelationEmbedding],
+        removed: list[str],
+    ) -> None:
+        """Patch the stacked matrix: mask out retired blocks, append
+        fresh ones.  Untouched rows are moved, never recomputed."""
+        assert self._matrix is not None and self._counts is not None
+        drop = set(removed) | {r.relation_id for r in updated}
+        if drop:
+            keep = np.ones(self._matrix.shape[0], dtype=bool)
+            kept_ids: list[str] = []
+            kept_sizes: list[int] = []
+            start = 0
+            for rid, size in zip(self._block_ids, self._block_sizes):
+                if rid in drop:
+                    keep[start : start + size] = False
+                    self._block_cells.pop(rid, None)
+                else:
+                    kept_ids.append(rid)
+                    kept_sizes.append(size)
+                start += size
+            self._matrix = self._matrix[keep]
+            self._counts = self._counts[keep]
+            self._block_ids = kept_ids
+            self._block_sizes = kept_sizes
+        fresh = updated + added
+        if fresh:
+            self._matrix = np.vstack([self._matrix] + [r.vectors for r in fresh])
+            self._counts = np.concatenate([self._counts] + [r.counts for r in fresh])
+            for rel in fresh:
+                self._block_ids.append(rel.relation_id)
+                self._block_sizes.append(rel.n_unique)
+                self._block_cells[rel.relation_id] = rel.n_cells
+
+    def _blocks(self) -> list[tuple[str, int, int]]:
+        """(relation_id, start_row, stop_row) per stacked block."""
+        out: list[tuple[str, int, int]] = []
+        start = 0
+        for rid, size in zip(self._block_ids, self._block_sizes):
+            out.append((rid, start, start + size))
+            start += size
+        return out
+
+    def _aggregate_block(self, sims: np.ndarray, counts: np.ndarray) -> float:
+        if self.aggregate == "mean":
+            # Multiplicity-weighted mean == mean over all occurrences.
+            return float(np.average(sims, weights=counts))
+        keep = max(1, int(np.ceil(self.top_fraction * sims.shape[0])))
+        top = np.partition(sims, sims.shape[0] - keep)[-keep:]
+        return float(top.mean())
 
     def _score_all(self, query: str) -> list[RelationMatch]:
         with self.metrics.timer("exs.encode"):
             q = self.embeddings.encode_query(query)
+        assert self._matrix is not None and self._counts is not None
         matches = []
         with self.metrics.timer("exs.scan"):
-            for rel in self.embeddings.relations:
+            for rid, start, stop in self._blocks():
+                block = self._matrix[start:stop]
                 if self.vectorized:
-                    sims = rel.vectors @ q  # unit vectors: dot == cosine
+                    sims = block @ q  # unit vectors: dot == cosine
                 else:
                     # Algorithm 1: "foreach Attribute v in r: compute the
                     # similarity score s between q' and w".
                     sims = np.fromiter(
-                        (float(np.dot(rel.vectors[i], q)) for i in range(rel.n_unique)),
+                        (float(np.dot(block[i], q)) for i in range(block.shape[0])),
                         dtype=np.float64,
-                        count=rel.n_unique,
+                        count=block.shape[0],
                     )
-                if self.aggregate == "mean":
-                    # Multiplicity-weighted mean == mean over all occurrences.
-                    score = float(np.average(sims, weights=rel.counts))
-                else:
-                    keep = max(1, int(np.ceil(self.top_fraction * sims.shape[0])))
-                    top = np.partition(sims, sims.shape[0] - keep)[-keep:]
-                    score = float(top.mean())
                 matches.append(
                     RelationMatch(
-                        relation_id=rel.relation_id,
-                        score=score,
-                        details={"n_values": rel.n_cells},
+                        relation_id=rid,
+                        score=self._aggregate_block(sims, self._counts[start:stop]),
+                        details={"n_values": self._block_cells[rid]},
                     )
                 )
         return matches
@@ -102,40 +165,42 @@ class ExhaustiveSearch(SearchMethod):
         with self.metrics.timer("exs.encode"):
             return np.stack([self.embeddings.encode_query(q) for q in queries])
 
-    def _scan_relations(
-        self, query_block: np.ndarray, relations: Sequence[RelationEmbedding]
+    def _scan_blocks(
+        self, query_block: np.ndarray, blocks: Sequence[tuple[str, int, int]]
     ) -> list[list[RelationMatch]]:
-        """Score every query against ``relations``, one GEMM per relation.
+        """Score every query against ``blocks``, one GEMM per relation.
 
-        ``rel.vectors @ query_block.T`` is an ``(n_unique, Q)`` product:
-        the per-query columns see exactly the values the sequential scan
-        sees, but the hardware sees one matrix-matrix multiply instead
-        of Q matrix-vector passes over the same memory.
+        ``matrix[start:stop] @ query_block.T`` is an ``(n_unique, Q)``
+        product: the per-query columns see exactly the values the
+        sequential scan sees, but the hardware sees one matrix-matrix
+        multiply instead of Q matrix-vector passes over the same memory.
         """
+        assert self._matrix is not None and self._counts is not None
         block_t = np.ascontiguousarray(query_block.T)
         n_queries = query_block.shape[0]
         per_query: list[list[RelationMatch]] = [[] for _ in range(n_queries)]
         with self.metrics.timer("exs.scan"):
-            for rel in relations:
-                sims = rel.vectors @ block_t  # (n_unique, Q)
+            for rid, start, stop in blocks:
+                sims = self._matrix[start:stop] @ block_t  # (n_unique, Q)
                 if self.aggregate == "mean":
-                    scores = np.average(sims, weights=rel.counts, axis=0)
+                    scores = np.average(sims, weights=self._counts[start:stop], axis=0)
                 else:
                     keep = max(1, int(np.ceil(self.top_fraction * sims.shape[0])))
                     top = np.partition(sims, sims.shape[0] - keep, axis=0)
                     scores = top[sims.shape[0] - keep :].mean(axis=0)
+                n_values = self._block_cells[rid]
                 for b in range(n_queries):
                     per_query[b].append(
                         RelationMatch(
-                            relation_id=rel.relation_id,
+                            relation_id=rid,
                             score=float(scores[b]),
-                            details={"n_values": rel.n_cells},
+                            details={"n_values": n_values},
                         )
                     )
         return per_query
 
     def _score_batch(self, queries: Sequence[str]) -> list[list[RelationMatch]]:
-        return self._scan_relations(self._encode_block(queries), self.embeddings.relations)
+        return self._scan_blocks(self._encode_block(queries), self._blocks())
 
     def _score_batch_parallel(
         self, queries: Sequence[str], workers: int
@@ -147,15 +212,15 @@ class ExhaustiveSearch(SearchMethod):
         GEMM over its slice and the per-query score lists are stitched
         back together in relation order.
         """
-        relations = self.embeddings.relations
-        chunks = even_chunks(len(relations), workers)
+        blocks = self._blocks()
+        chunks = even_chunks(len(blocks), workers)
         block = self._encode_block(queries)
         if len(chunks) < 2:
-            return self._scan_relations(block, relations)
+            return self._scan_blocks(block, blocks)
         with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
             parts = list(
                 pool.map(
-                    lambda c: self._scan_relations(block, [relations[i] for i in c]),
+                    lambda c: self._scan_blocks(block, [blocks[i] for i in c]),
                     chunks,
                 )
             )

@@ -1,0 +1,93 @@
+"""Concurrency primitives for the incremental federation lifecycle.
+
+Serving and mutation share one :class:`DiscoveryEngine`: query batches
+may be in flight on ``workers > 1`` thread pools while a delta
+(add / update / remove relations) arrives.  The engine guards both
+sides with a :class:`RWLock` — any number of concurrent readers
+(searches) or exactly one writer (a delta) — so a query always sees a
+complete generation of the store and every method index, never a torn
+intermediate state.  This is the same discipline the embedding cache
+uses for its LRU bookkeeping, lifted to the index level.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.semimg import RelationEmbedding
+
+__all__ = ["FederationDelta", "RWLock"]
+
+
+@dataclass(frozen=True)
+class FederationDelta:
+    """One atomic batch of store mutations, as seen by the indexes.
+
+    ``added`` and ``updated`` carry the freshly embedded relations (the
+    store already holds them when the delta is applied); ``removed``
+    lists retired relation ids.  ``generation`` is the store generation
+    after the whole batch was absorbed.
+    """
+
+    added: tuple[RelationEmbedding, ...] = ()
+    updated: tuple[RelationEmbedding, ...] = ()
+    removed: tuple[str, ...] = ()
+    generation: int = 0
+
+    @property
+    def n_changes(self) -> int:
+        return len(self.added) + len(self.updated) + len(self.removed)
+
+
+@dataclass
+class RWLock:
+    """Many concurrent readers or one exclusive writer.
+
+    Readers (searches) overlap freely; a writer (delta application)
+    waits for in-flight readers to drain and blocks new ones until it
+    finishes.  The policy is writer-preference: once a writer is
+    waiting, new readers queue behind it.  Under a sustained 100% read
+    load a reader-preference lock would starve deltas forever; making
+    readers yield to a pending writer bounds delta latency by the
+    in-flight readers only, at the cost of one write-length stall for
+    queries that arrive during the delta.
+    """
+
+    _cond: threading.Condition = field(default_factory=threading.Condition)
+    _readers: int = 0
+    _writing: bool = False
+    _writers_waiting: int = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._cond:
+            while self._writing or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()

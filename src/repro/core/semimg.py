@@ -115,16 +115,25 @@ def build_relation_embedding(
 
 @dataclass
 class FederationEmbeddings:
-    """semImg of a whole federation plus the encoder used to build it.
+    """Mutable semImg store of a whole federation plus its encoder.
 
     Keeping the encoder here guarantees queries are embedded in the
     same space as the data — and, as the paper emphasizes, data
     vectorization is independent of any query.
+
+    The store supports an incremental lifecycle: :meth:`add_relation`,
+    :meth:`update_relation` and :meth:`remove_relation` mutate the
+    relation list without touching any other relation's vectors (only
+    the changed relation is re-embedded), and every mutation bumps the
+    monotonically increasing :attr:`generation` counter so downstream
+    indexes can tell which store state they reflect.
     """
 
     relations: list[RelationEmbedding]
     encoder: SentenceEncoder
     build_seconds: float = 0.0
+    #: Monotonically increasing mutation counter; 0 for a fresh build.
+    generation: int = 0
 
     @property
     def dim(self) -> int:
@@ -142,6 +151,71 @@ class FederationEmbeddings:
 
     def relation_ids(self) -> list[str]:
         return [r.relation_id for r in self.relations]
+
+    # -- incremental lifecycle ------------------------------------------
+
+    def position(self, relation_id: str) -> int:
+        """Index of ``relation_id`` in :attr:`relations` (or raise)."""
+        for i, rel in enumerate(self.relations):
+            if rel.relation_id == relation_id:
+                return i
+        raise ConfigurationError(f"relation {relation_id!r} not in federation embeddings")
+
+    def __contains__(self, relation_id: str) -> bool:
+        return any(r.relation_id == relation_id for r in self.relations)
+
+    def _as_embedding(
+        self, relation_id: str, relation: "Relation | RelationEmbedding"
+    ) -> RelationEmbedding:
+        """Embed a relation — or accept one embedded ahead of time, so
+        callers can do the encoding outside any lock they hold."""
+        if isinstance(relation, RelationEmbedding):
+            if relation.relation_id != relation_id:
+                raise ConfigurationError(
+                    f"embedding is for {relation.relation_id!r}, not {relation_id!r}"
+                )
+            embedding = relation
+        else:
+            embedding = build_relation_embedding(relation_id, relation, self.encoder)
+        if self.relations and embedding.dim != self.dim:
+            raise ConfigurationError(
+                f"relation {relation_id!r} embeds to {embedding.dim}-dim but "
+                f"the federation is {self.dim}-dim"
+            )
+        return embedding
+
+    def add_relation(
+        self, relation_id: str, relation: "Relation | RelationEmbedding"
+    ) -> RelationEmbedding:
+        """Embed and append one new relation; untouched relations are
+        never recomputed."""
+        if relation_id in self:
+            raise ConfigurationError(f"relation {relation_id!r} already in federation")
+        embedding = self._as_embedding(relation_id, relation)
+        self.relations.append(embedding)
+        self.generation += 1
+        return embedding
+
+    def update_relation(
+        self, relation_id: str, relation: "Relation | RelationEmbedding"
+    ) -> RelationEmbedding:
+        """Re-embed one revised relation in place (same position)."""
+        pos = self.position(relation_id)
+        embedding = self._as_embedding(relation_id, relation)
+        self.relations[pos] = embedding
+        self.generation += 1
+        return embedding
+
+    def remove_relation(self, relation_id: str) -> RelationEmbedding:
+        """Retire one relation; returns its (now detached) embedding."""
+        pos = self.position(relation_id)
+        if len(self.relations) == 1:
+            raise ConfigurationError(
+                "cannot remove the last relation; federation embeddings must stay non-empty"
+            )
+        removed = self.relations.pop(pos)
+        self.generation += 1
+        return removed
 
     def encode_query(self, query: str) -> np.ndarray:
         """semImg(Q): the query's unit vector in the shared space."""
@@ -174,6 +248,8 @@ def save_federation_embeddings(
     """
     arrays: dict[str, np.ndarray] = {
         "relation_ids": np.array([r.relation_id for r in embeddings.relations]),
+        "build_seconds": np.array([embeddings.build_seconds], dtype=np.float64),
+        "generation": np.array([embeddings.generation], dtype=np.int64),
     }
     for i, rel in enumerate(embeddings.relations):
         arrays[f"vectors_{i}"] = rel.vectors
@@ -193,6 +269,9 @@ def load_federation_embeddings(
     """
     with np.load(path, allow_pickle=False) as data:
         relation_ids = [str(r) for r in data["relation_ids"]]
+        # Older snapshots predate these fields; default rather than fail.
+        build_seconds = float(data["build_seconds"][0]) if "build_seconds" in data else 0.0
+        generation = int(data["generation"][0]) if "generation" in data else 0
         relations = []
         for i, relation_id in enumerate(relation_ids):
             vectors = data[f"vectors_{i}"]
@@ -210,7 +289,12 @@ def load_federation_embeddings(
                     counts=data[f"counts_{i}"],
                 )
             )
-    return FederationEmbeddings(relations=relations, encoder=encoder)
+    return FederationEmbeddings(
+        relations=relations,
+        encoder=encoder,
+        build_seconds=build_seconds,
+        generation=generation,
+    )
 
 
 def build_federation_embeddings(

@@ -1,12 +1,13 @@
-"""Observability: counters, latency histograms and per-stage timers.
+"""Observability: counters, gauges, latency histograms and stage timers.
 
 The serving stack (engine → search methods → vector database) shares
 one :class:`MetricsRegistry` so benchmarks, tests and future serving
 code read the same instrumentation vocabulary: ``engine.*`` counters,
-``<method>.<stage>`` stage timers (encode / scan / route / rank) and
-``vectordb.*`` scan counters.
+``<method>.<stage>`` stage timers (encode / scan / route / rank),
+``vectordb.*`` scan counters and lifecycle gauges
+(``engine.generation``, ``cts.drift``).
 """
 
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry, Timer
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry", "Timer"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "Timer"]

@@ -6,6 +6,8 @@ layer records into the same vocabulary:
 
 * counters — monotone event counts (``engine.queries``,
   ``vectordb.points_scanned``, ``vectordb.index_probes``);
+* gauges — point-in-time levels that move both ways
+  (``engine.generation``, ``cts.drift`` staleness);
 * histograms — latency distributions with p50/p95/p99, fed by stage
   timers named ``<method>.<stage>`` for the stages ``encode`` /
   ``scan`` / ``route`` / ``rank``.
@@ -21,7 +23,7 @@ import threading
 import time
 from typing import Any, Iterator
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry", "Timer"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "Timer"]
 
 
 class Counter:
@@ -51,6 +53,38 @@ class Counter:
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A level that can rise and fall (generations, drift, staleness).
+
+    Unlike a :class:`Counter` a gauge is set, not accumulated: the
+    lifecycle paths publish the *current* value of a quantity — the
+    store generation a method has applied, the drift CTS has absorbed
+    since its last re-cluster — and each :meth:`set` replaces the last.
+    """
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
 
 
 class Histogram:
@@ -152,6 +186,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
@@ -162,6 +197,14 @@ class MetricsRegistry:
             if counter is None:
                 counter = self._counters[name] = Counter(name)
             return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge(name)
+            return gauge
 
     def histogram(self, name: str) -> Histogram:
         """Get or create the histogram called ``name``."""
@@ -179,14 +222,19 @@ class MetricsRegistry:
         with self._lock:
             return iter(list(self._counters.values()))
 
+    def gauges(self) -> Iterator[Gauge]:
+        with self._lock:
+            return iter(list(self._gauges.values()))
+
     def histograms(self) -> Iterator[Histogram]:
         with self._lock:
             return iter(list(self._histograms.values()))
 
     def snapshot(self) -> dict[str, Any]:
-        """Point-in-time view: counter values + histogram summaries."""
+        """Point-in-time view: counters + gauges + histogram summaries."""
         return {
             "counters": {c.name: c.value for c in sorted(self.counters(), key=lambda c: c.name)},
+            "gauges": {g.name: g.value for g in sorted(self.gauges(), key=lambda g: g.name)},
             "stages": {
                 h.name: h.summary()
                 for h in sorted(self.histograms(), key=lambda h: h.name)
@@ -202,6 +250,11 @@ class MetricsRegistry:
         width = max((len(n) for n in snap["counters"]), default=0)
         for name, value in snap["counters"].items():
             lines.append(f"{name:<{width}}  {value}")
+        if snap["gauges"]:
+            lines += ["", "gauges", "------"]
+            width = max(len(n) for n in snap["gauges"])
+            for name, value in snap["gauges"].items():
+                lines.append(f"{name:<{width}}  {value:g}")
         lines += ["", "stages (ms)", "-----------"]
         if not snap["stages"]:
             lines.append("(none)")
@@ -221,5 +274,7 @@ class MetricsRegistry:
         """Zero every instrument (instances stay registered)."""
         for counter in self.counters():
             counter.reset()
+        for gauge in self.gauges():
+            gauge.reset()
         for histogram in self.histograms():
             histogram.reset()

@@ -103,6 +103,20 @@ def test_empty_batch(indexed_engine):
     assert result.queries_per_second == 0.0
 
 
+def test_empty_batch_still_counted(covid_fed):
+    # Regression: the empty-batch early return used to skip the
+    # method-level batch counter, so engine.batches and exs.batches
+    # disagreed after an empty call.
+    engine = DiscoveryEngine(dim=64)
+    engine.index(covid_fed)
+    engine.search_batch([], method="exs")
+    engine.search_batch(["covid"], method="exs")
+    counters = engine.metrics.snapshot()["counters"]
+    assert counters["engine.batches"] == 2
+    assert counters["exs.batches"] == 2
+    assert counters["engine.queries"] == counters["exs.queries"] == 1
+
+
 def test_workers_must_be_positive(indexed_engine):
     with pytest.raises(ValueError):
         indexed_engine.search_batch(QUERIES, method="exs", workers=0)

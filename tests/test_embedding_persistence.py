@@ -46,6 +46,28 @@ class TestEmbeddingPersistence:
         with pytest.raises(ConfigurationError):
             load_federation_embeddings(path, SemanticHashEncoder(dim=64))
 
+    def test_build_seconds_and_generation_roundtrip(self, engine, tmp_path):
+        # Regression: build_seconds used to be dropped on save, so
+        # every reloaded store claimed a zero-cost build.
+        path = tmp_path / "meta.npz"
+        assert engine.embeddings.build_seconds > 0.0
+        save_federation_embeddings(engine.embeddings, path)
+        loaded = load_federation_embeddings(path, engine.encoder)
+        assert loaded.build_seconds == engine.embeddings.build_seconds
+        assert loaded.generation == engine.embeddings.generation
+
+    def test_old_snapshots_without_metadata_still_load(self, engine, tmp_path):
+        path = tmp_path / "old.npz"
+        save_federation_embeddings(engine.embeddings, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {
+                k: data[k] for k in data.files if k not in ("build_seconds", "generation")
+            }
+        np.savez_compressed(path, **arrays)
+        loaded = load_federation_embeddings(path, engine.encoder)
+        assert loaded.build_seconds == 0.0
+        assert loaded.generation == 0
+
     def test_loaded_engine_is_indexed(self, engine, tmp_path):
         path = tmp_path / "e.npz"
         engine.save_index(path)

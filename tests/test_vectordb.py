@@ -159,6 +159,17 @@ class TestCollection:
         hits = collection.search(fresh, 1)
         assert hits[0].id == 777
 
+    def test_index_refreshes_after_delete(self, collection):
+        # Deletion marks the index stale; the next search must rebuild
+        # it and never resurrect the deleted point.
+        collection.create_index("hnsw", m=4, ef_construction=20)
+        target = collection.get(20).vector
+        assert collection.search(target, 1)[0].id == 20
+        assert collection.delete([20]) == 1
+        hits = collection.search(target, 5)
+        assert 20 not in {h.id for h in hits}
+        assert len(hits) == 5
+
     def test_vectors_view_readonly(self, collection):
         with pytest.raises(ValueError):
             collection.vectors[0, 0] = 1.0
