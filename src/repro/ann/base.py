@@ -21,7 +21,7 @@ class SearchHit:
 
     __slots__ = ("index", "score")
 
-    def __init__(self, index: int, score: float):
+    def __init__(self, index: int, score: float) -> None:
         self.index = index
         self.score = score
 
@@ -41,7 +41,7 @@ class VectorIndex(abc.ABC):
     where supported) and then queried with :meth:`search`.
     """
 
-    def __init__(self, metric: Metric = Metric.COSINE):
+    def __init__(self, metric: Metric = Metric.COSINE) -> None:
         self.metric = metric
         self._dim: int | None = None
 

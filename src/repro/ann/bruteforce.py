@@ -18,7 +18,7 @@ class BruteForceIndex(VectorIndex):
     query costs one matrix-vector product.
     """
 
-    def __init__(self, metric: Metric = Metric.COSINE):
+    def __init__(self, metric: Metric = Metric.COSINE) -> None:
         super().__init__(metric)
         self._vectors = np.empty((0, 0), dtype=np.float64)
 

@@ -41,7 +41,7 @@ class AdHocTableRetrieval(BaselineMethod):
 
     SELECTORS = ("rows", "columns", "salient")
 
-    def __init__(self, max_tokens: int = 16, selectors: tuple[str, ...] = SELECTORS):
+    def __init__(self, max_tokens: int = 16, selectors: tuple[str, ...] = SELECTORS) -> None:
         super().__init__()
         unknown = set(selectors) - set(self.SELECTORS)
         if unknown:

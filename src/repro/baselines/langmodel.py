@@ -25,7 +25,7 @@ class DirichletLanguageModel:
     fall back to a uniform floor over the vocabulary.
     """
 
-    def __init__(self, mu: float = 250.0):
+    def __init__(self, mu: float = 250.0) -> None:
         if mu <= 0:
             raise ConfigurationError("mu must be > 0")
         self.mu = mu
@@ -92,7 +92,7 @@ class FieldLanguageModels:
     :meth:`repro.baselines.mdr.MultiFieldDocumentRanking.fit`).
     """
 
-    def __init__(self, field_names: Sequence[str], mu: float = 250.0):
+    def __init__(self, field_names: Sequence[str], mu: float = 250.0) -> None:
         if not field_names:
             raise ConfigurationError("need at least one field")
         self.field_names = tuple(field_names)

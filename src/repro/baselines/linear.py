@@ -20,7 +20,7 @@ class LinearRegression:
         which hand-crafted overlap features frequently are.
     """
 
-    def __init__(self, ridge: float = 1e-6):
+    def __init__(self, ridge: float = 1e-6) -> None:
         if ridge < 0:
             raise ConfigurationError("ridge must be >= 0")
         self.ridge = ridge

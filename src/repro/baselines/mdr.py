@@ -39,7 +39,7 @@ class MultiFieldDocumentRanking(BaselineMethod):
 
     name = "mdr"
 
-    def __init__(self, mu: float = 250.0, n_weight_samples: int = 40, seed: int = 0):
+    def __init__(self, mu: float = 250.0, n_weight_samples: int = 40, seed: int = 0) -> None:
         super().__init__()
         self.mu = mu
         self.n_weight_samples = n_weight_samples

@@ -41,7 +41,7 @@ class WebTableSystem(BaselineMethod):
 
     name = "ws"
 
-    def __init__(self, ridge: float = 1e-4):
+    def __init__(self, ridge: float = 1e-4) -> None:
         super().__init__()
         self.ridge = ridge
         self._extractor = LexicalFeatureExtractor()

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -100,10 +101,10 @@ class ANNSearch(SearchMethod):
             raise RuntimeError("ANNSearch not indexed yet")
         return self._db
 
-    def _index_params(self) -> dict:
+    def _index_params(self) -> dict[str, Any]:
         if self.index_kind is IndexKind.EXACT:
             return {}
-        params: dict = {}
+        params: dict[str, Any] = {}
         if self.index_kind in (IndexKind.HNSW, IndexKind.HNSW_PQ):
             params.update(
                 m=self.m,
@@ -132,8 +133,8 @@ class ANNSearch(SearchMethod):
         """
         db = VectorDatabase(metrics=self.metrics)
         collection = db.create_collection("values", dim=self.embeddings.dim, metric=Metric.COSINE)
-        owners: dict[str, list[list]] = {}
-        vectors: dict[str, object] = {}
+        owners: dict[str, list[list[Any]]] = {}
+        vectors: dict[str, np.ndarray] = {}
         for rel in self.embeddings.relations:
             for row in range(rel.n_unique):
                 value = rel.values[row]
@@ -227,21 +228,46 @@ class ANNSearch(SearchMethod):
         if to_delete:
             collection.delete(to_delete)
 
-    def _candidate_budget(self) -> int:
-        """How many nearest value vectors each query retrieves."""
+    def candidate_budget(self, n_relations: int) -> int:
+        """The retrieval budget for a corpus of ``n_relations``.
+
+        Exposed (rather than folded into :meth:`_score_all`) because a
+        sharded deployment must size every shard's retrieval by the
+        *global* relation count to reproduce unsharded scores.
+        """
         if self.n_candidates is not None:
             return self.n_candidates
-        return max(256, self.embeddings.n_relations // 2)
+        return max(256, n_relations // 2)
+
+    def _candidate_budget(self) -> int:
+        """How many nearest value vectors each query retrieves."""
+        return self.candidate_budget(self.embeddings.n_relations)
+
+    def retrieve(self, query_vector: np.ndarray, budget: int) -> list[ScoredPoint]:
+        """Step 2's retrieval half: the ``budget`` nearest value points.
+
+        Split from :meth:`_score_all` so a scatter-gather layer can
+        merge candidates across shards before relation grouping.
+        """
+        collection = self.database.get_collection("values")
+        with self.metrics.timer(f"{self.name}.scan"):
+            return collection.search(query_vector, k=budget, ef=int(1.5 * budget), rescore=True)
+
+    def retrieve_batch(
+        self, query_block: np.ndarray, budget: int
+    ) -> list[list[ScoredPoint]]:
+        """Batched :meth:`retrieve` over a ``(Q, dim)`` query block."""
+        collection = self.database.get_collection("values")
+        with self.metrics.timer(f"{self.name}.scan"):
+            return collection.search_batch(
+                query_block, k=budget, ef=int(1.5 * budget), rescore=True
+            )
 
     def _score_all(self, query: str) -> list[RelationMatch]:
         """Step 2: approximate KNN, then group scores by relation."""
-        with self.metrics.timer("anns.encode"):
+        with self.metrics.timer(f"{self.name}.encode"):
             q = self.embeddings.encode_query(query)
-        collection = self.database.get_collection("values")
-        budget = self._candidate_budget()
-        with self.metrics.timer("anns.scan"):
-            hits = collection.search(q, k=budget, ef=int(1.5 * budget), rescore=True)
-        return self._group_hits(hits)
+        return self._group_hits(self.retrieve(q, self._candidate_budget()))
 
     def _score_batch(self, queries: Sequence[str]) -> list[list[RelationMatch]]:
         """Batched Step 2: one candidate-retrieval pass per query block.
@@ -252,14 +278,9 @@ class ANNSearch(SearchMethod):
         and each query's hits are grouped exactly as in sequential
         :meth:`_score_all`.
         """
-        with self.metrics.timer("anns.encode"):
+        with self.metrics.timer(f"{self.name}.encode"):
             block = np.stack([self.embeddings.encode_query(q) for q in queries])
-        collection = self.database.get_collection("values")
-        budget = self._candidate_budget()
-        with self.metrics.timer("anns.scan"):
-            hit_lists = collection.search_batch(
-                block, k=budget, ef=int(1.5 * budget), rescore=True
-            )
+        hit_lists = self.retrieve_batch(block, self._candidate_budget())
         return [self._group_hits(hits) for hits in hit_lists]
 
     def _group_hits(self, hits: list[ScoredPoint]) -> list[RelationMatch]:

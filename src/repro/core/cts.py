@@ -35,6 +35,7 @@ from repro.clustering.hdbscan_ import HDBSCAN
 from repro.clustering.medoids import medoid_index
 from repro.core.base import SearchMethod
 from repro.core.results import RelationMatch
+from repro.core.semimg import RelationEmbedding
 from repro.dimred.knn_graph import build_knn_graph
 from repro.dimred.pca import PCA
 from repro.dimred.umap_ import UMAP
@@ -187,7 +188,7 @@ class ClusteredTargetedSearch(SearchMethod):
         }
         self._medoid_scale = self._inter_medoid_scale()
         self._drift_assigned = 0
-        self.metrics.gauge("cts.drift").set(0.0)
+        self.metrics.gauge(f"{self.name}.drift").set(0.0)
         # Map medoids from unique-space indices to full-row indices so
         # original-space lookups work.
         self._medoid_rows = {
@@ -240,7 +241,12 @@ class ClusteredTargetedSearch(SearchMethod):
 
     # -- incremental lifecycle ----------------------------------------------
 
-    def _apply_delta(self, added, updated, removed) -> None:
+    def _apply_delta(
+        self,
+        added: list[RelationEmbedding],
+        updated: list[RelationEmbedding],
+        removed: list[str],
+    ) -> None:
         """Partial maintenance: keep the clustering, place new values.
 
         The expensive offline work — kNN graph, UMAP, HDBSCAN — is kept;
@@ -328,14 +334,14 @@ class ClusteredTargetedSearch(SearchMethod):
         self._populate_database(reduced_unique[row_to_unique], self._labels)
 
         drift = self.drift
-        self.metrics.gauge("cts.drift").set(drift)
+        self.metrics.gauge(f"{self.name}.drift").set(drift)
         if drift > self.drift_threshold:
             self._rebuild()
 
     def _rebuild(self) -> None:
         """Full re-cluster over the store's current state (no re-embed)."""
         self._build()
-        self.metrics.counter("cts.rebuilds").inc()
+        self.metrics.counter(f"{self.name}.rebuilds").inc()
 
     @property
     def drift(self) -> float:
@@ -545,12 +551,12 @@ class ClusteredTargetedSearch(SearchMethod):
         return weights @ self._landmark_reduced[nearest]
 
     def _score_all(self, query: str) -> list[RelationMatch]:
-        with self.metrics.timer("cts.encode"):
+        with self.metrics.timer(f"{self.name}.encode"):
             q = self.embeddings.encode_query(query)
         medoids = self.database.get_collection("medoids")
-        with self.metrics.timer("cts.route"):
+        with self.metrics.timer(f"{self.name}.route"):
             routed = medoids.search(q, k=self.top_clusters)
-        with self.metrics.timer("cts.scan"):
+        with self.metrics.timer(f"{self.name}.scan"):
             return self._targeted_scan(q, routed)
 
     def _score_batch(self, queries: Sequence[str]) -> list[list[RelationMatch]]:
@@ -562,13 +568,13 @@ class ClusteredTargetedSearch(SearchMethod):
         targeted in-cluster scan proceeds exactly as in sequential
         :meth:`_score_all`.
         """
-        with self.metrics.timer("cts.encode"):
+        with self.metrics.timer(f"{self.name}.encode"):
             block = np.stack([self.embeddings.encode_query(q) for q in queries])
         medoids = self.database.get_collection("medoids")
-        with self.metrics.timer("cts.route"):
+        with self.metrics.timer(f"{self.name}.route"):
             routed_lists = medoids.search_batch(block, k=self.top_clusters)
         out: list[list[RelationMatch]] = []
-        with self.metrics.timer("cts.scan"):
+        with self.metrics.timer(f"{self.name}.scan"):
             for q, routed in zip(block, routed_lists):
                 out.append(self._targeted_scan(q, routed))
         return out

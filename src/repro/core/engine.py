@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import Any
 
 from repro.core.anns import ANNSearch
 from repro.core.base import SearchMethod
@@ -26,6 +28,7 @@ from repro.core.cts import ClusteredTargetedSearch
 from repro.core.exhaustive import ExhaustiveSearch
 from repro.core.lifecycle import FederationDelta, RWLock
 from repro.core.results import BatchResult, SearchResult
+from repro.core.sharding import ShardMap, ShardedStore, make_sharded_method
 from repro.core.semimg import (
     FederationEmbeddings,
     RelationEmbedding,
@@ -62,6 +65,18 @@ class DiscoveryEngine:
     method_params:
         Per-method constructor overrides, e.g.
         ``{"cts": {"top_clusters": 3}, "anns": {"n_candidates": 64}}``.
+    shards:
+        Number of store shards.  The default ``1`` keeps today's
+        monolithic layout; ``shards=N`` partitions the federation with
+        a deterministic :class:`~repro.core.sharding.ShardMap`
+        (rendezvous hashing over relation ids), builds one method
+        index per shard, serves queries scatter-gather with an exact
+        top-k merge, and routes each delta to the owning shards only.
+        ExS and exact-index ANNS rankings are identical to the
+        unsharded engine; CTS clusters and routes per shard.
+    shard_seed:
+        Seed of the rendezvous hash — must be stable across sessions
+        that share a persisted index.
 
     Example
     -------
@@ -76,7 +91,9 @@ class DiscoveryEngine:
         self,
         encoder: SentenceEncoder | None = None,
         dim: int = 768,
-        method_params: dict[str, dict] | None = None,
+        method_params: dict[str, dict[str, Any]] | None = None,
+        shards: int = 1,
+        shard_seed: int = 0,
     ) -> None:
         if encoder is None:
             encoder = CachingEncoder(SemanticHashEncoder(dim=dim))
@@ -85,7 +102,12 @@ class DiscoveryEngine:
         unknown = set(self.method_params) - set(self.METHODS)
         if unknown:
             raise ConfigurationError(f"unknown methods in method_params: {sorted(unknown)}")
+        if shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        self.shards = shards
+        self.shard_seed = shard_seed
         self._embeddings: FederationEmbeddings | None = None
+        self._sharded: ShardedStore | None = None
         self._methods: dict[str, SearchMethod] = {}
         #: Shared observability registry: every method and its vector-db
         #: collections record counters and per-stage latencies here.
@@ -101,8 +123,22 @@ class DiscoveryEngine:
         """Vectorize the federation (methods build lazily on first use)."""
         self._embeddings = build_federation_embeddings(federation, self.encoder)
         self._methods.clear()
+        self._sharded = self._partition(self._embeddings)
         self.metrics.gauge("engine.generation").set(self._embeddings.generation)
         return self
+
+    def _partition(self, store: FederationEmbeddings) -> ShardedStore | None:
+        """Shard the store (``shards > 1``) and publish shard sizes."""
+        if self.shards == 1:
+            return None
+        sharded = ShardedStore(store, ShardMap(self.shards, seed=self.shard_seed))
+        self._publish_shard_sizes(sharded)
+        return sharded
+
+    def _publish_shard_sizes(self, sharded: ShardedStore) -> None:
+        """Per-shard relation counts, so placement skew is observable."""
+        for shard, size in enumerate(sharded.shard_sizes()):
+            self.metrics.gauge(f"engine.shard_sizes.{shard}").set(size)
 
     @property
     def embeddings(self) -> FederationEmbeddings:
@@ -114,19 +150,30 @@ class DiscoveryEngine:
     def is_indexed(self) -> bool:
         return self._embeddings is not None
 
-    def save_index(self, path) -> None:
+    def save_index(self, path: str | Path) -> None:
         """Persist the federation embeddings (not the method indexes,
         which rebuild quickly relative to re-embedding)."""
         save_federation_embeddings(self.embeddings, path)
 
-    def load_index(self, path) -> "DiscoveryEngine":
+    def load_index(self, path: str | Path) -> "DiscoveryEngine":
         """Restore embeddings saved by :meth:`save_index`.
 
         The engine must be configured with the same encoder settings
-        that built the saved embeddings.
+        that built the saved embeddings; a snapshot whose embedding
+        dimensionality disagrees with :attr:`encoder` is rejected with
+        a :class:`ConfigurationError` here rather than surfacing later
+        as a shape error deep inside a scan kernel.
         """
-        self._embeddings = load_federation_embeddings(path, self.encoder)
+        loaded = load_federation_embeddings(path, self.encoder)
+        if loaded.n_relations and loaded.dim != self.encoder.dim:
+            raise ConfigurationError(
+                f"loaded embeddings are {loaded.dim}-dim but this engine's encoder "
+                f"produces {self.encoder.dim}-dim vectors; configure the engine "
+                "with the encoder settings that built the snapshot"
+            )
+        self._embeddings = loaded
         self._methods.clear()
+        self._sharded = self._partition(loaded)
         self.metrics.gauge("engine.generation").set(self._embeddings.generation)
         return self
 
@@ -147,7 +194,12 @@ class DiscoveryEngine:
         if name not in self._methods:
             with self._build_lock:
                 if name not in self._methods:
-                    method = self._make_method(name)
+                    if self._sharded is not None:
+                        method: SearchMethod = make_sharded_method(
+                            lambda: self._make_method(name), self._sharded
+                        )
+                    else:
+                        method = self._make_method(name)
                     # Share the engine's registry BEFORE index() so
                     # index-time structures (vector-db collections)
                     # report into it too.
@@ -242,6 +294,12 @@ class DiscoveryEngine:
         """Thread one (already stored) delta through every built method
         and record the lifecycle metrics.  Caller holds the write lock."""
         store = self.embeddings
+        if self._sharded is not None:
+            # Shard stores first, so per-shard method indexes absorb the
+            # delta against already-mutated shard partitions (the same
+            # store-then-index contract the unsharded path follows).
+            self._sharded.apply_delta(list(added), list(updated), list(removed))
+            self._publish_shard_sizes(self._sharded)
         for method in self._methods.values():
             method.apply_delta(added, updated, removed)
         self.metrics.counter("engine.deltas").inc()
@@ -292,5 +350,15 @@ class DiscoveryEngine:
     def search_all_methods(
         self, query: str, k: int = 10, h: float = 0.0
     ) -> dict[str, SearchResult]:
-        """Run the same query through ExS, ANNS and CTS (for comparisons)."""
-        return {name: self.search(query, method=name, k=k, h=h) for name in self.METHODS}
+        """Run the same query through ExS, ANNS and CTS (for comparisons).
+
+        The read lock is held once across all three methods, so every
+        result reflects the same federation generation — a concurrent
+        delta can never land between the ExS and the CTS run.
+        """
+        with self._lifecycle_lock.read():
+            results: dict[str, SearchResult] = {}
+            for name in self.METHODS:
+                self.metrics.counter("engine.queries").inc()
+                results[name] = self.method(name).search(query, k=k, h=h)
+            return results

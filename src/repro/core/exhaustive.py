@@ -132,11 +132,11 @@ class ExhaustiveSearch(SearchMethod):
         return float(top.mean())
 
     def _score_all(self, query: str) -> list[RelationMatch]:
-        with self.metrics.timer("exs.encode"):
+        with self.metrics.timer(f"{self.name}.encode"):
             q = self.embeddings.encode_query(query)
         assert self._matrix is not None and self._counts is not None
         matches = []
-        with self.metrics.timer("exs.scan"):
+        with self.metrics.timer(f"{self.name}.scan"):
             for rid, start, stop in self._blocks():
                 block = self._matrix[start:stop]
                 if self.vectorized:
@@ -162,7 +162,7 @@ class ExhaustiveSearch(SearchMethod):
 
     def _encode_block(self, queries: Sequence[str]) -> np.ndarray:
         """The ``(Q, d)`` matrix of encoded query vectors."""
-        with self.metrics.timer("exs.encode"):
+        with self.metrics.timer(f"{self.name}.encode"):
             return np.stack([self.embeddings.encode_query(q) for q in queries])
 
     def _scan_blocks(
@@ -179,7 +179,7 @@ class ExhaustiveSearch(SearchMethod):
         block_t = np.ascontiguousarray(query_block.T)
         n_queries = query_block.shape[0]
         per_query: list[list[RelationMatch]] = [[] for _ in range(n_queries)]
-        with self.metrics.timer("exs.scan"):
+        with self.metrics.timer(f"{self.name}.scan"):
             for rid, start, stop in blocks:
                 sims = self._matrix[start:stop] @ block_t  # (n_unique, Q)
                 if self.aggregate == "mean":

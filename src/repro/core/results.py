@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -46,7 +47,7 @@ class SearchResult:
     def __len__(self) -> int:
         return len(self.matches)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[RelationMatch]:
         return iter(self.matches)
 
     def top(self) -> RelationMatch | None:
@@ -54,7 +55,7 @@ class SearchResult:
         return self.matches[0] if self.matches else None
 
 
-class BatchResult(list):
+class BatchResult(list[SearchResult]):
     """Results of one batched call: a list of :class:`SearchResult`,
     one per query in submission order, plus batch-level timing.
 
@@ -63,7 +64,7 @@ class BatchResult(list):
     per-query cost is not separable.
     """
 
-    def __init__(self, results: list[SearchResult], elapsed_ms: float = 0.0):
+    def __init__(self, results: list[SearchResult], elapsed_ms: float = 0.0) -> None:
         super().__init__(results)
         self.elapsed_ms = elapsed_ms
 

@@ -134,6 +134,12 @@ class FederationEmbeddings:
     build_seconds: float = 0.0
     #: Monotonically increasing mutation counter; 0 for a fresh build.
     generation: int = 0
+    #: Whether the store may drain to zero relations.  The global store
+    #: of an engine never may (an empty federation is a configuration
+    #: error), but the per-shard partitions of a
+    #: :class:`~repro.core.sharding.ShardedStore` can legitimately own
+    #: no relations when a delta retires a shard's last one.
+    allow_empty: bool = False
 
     @property
     def dim(self) -> int:
@@ -209,7 +215,7 @@ class FederationEmbeddings:
     def remove_relation(self, relation_id: str) -> RelationEmbedding:
         """Retire one relation; returns its (now detached) embedding."""
         pos = self.position(relation_id)
-        if len(self.relations) == 1:
+        if len(self.relations) == 1 and not self.allow_empty:
             raise ConfigurationError(
                 "cannot remove the last relation; federation embeddings must stay non-empty"
             )

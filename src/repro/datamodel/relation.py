@@ -33,7 +33,7 @@ class Row:
 
     __slots__ = ("schema", "values")
 
-    def __init__(self, schema: Sequence[str], values: Sequence[str]):
+    def __init__(self, schema: Sequence[str], values: Sequence[str]) -> None:
         if len(schema) != len(values):
             raise ConfigurationError(
                 f"row has {len(values)} values for schema of {len(schema)}"

@@ -29,7 +29,7 @@ class PCA:
         Fraction of total variance captured per component.
     """
 
-    def __init__(self, n_components: int, seed: int = 0):
+    def __init__(self, n_components: int, seed: int = 0) -> None:
         if n_components < 1:
             raise ConfigurationError("n_components must be >= 1")
         self.n_components = n_components

@@ -30,7 +30,7 @@ class CachingEncoder(SentenceEncoder):
         evicted beyond that.
     """
 
-    def __init__(self, delegate: SentenceEncoder, max_size: int = 200_000):
+    def __init__(self, delegate: SentenceEncoder, max_size: int = 200_000) -> None:
         if max_size < 1:
             raise ValueError("max_size must be >= 1")
         self.delegate = delegate

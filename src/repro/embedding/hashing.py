@@ -33,7 +33,7 @@ class HashedFeatureSpace:
         cleared (feature vectors are cheap to regenerate).
     """
 
-    def __init__(self, dim: int, namespace: str = "", max_cache_size: int = 500_000):
+    def __init__(self, dim: int, namespace: str = "", max_cache_size: int = 500_000) -> None:
         if dim < 1:
             raise ConfigurationError("dim must be >= 1")
         self.dim = dim

@@ -23,7 +23,7 @@ VALID_GRADES = (0, 1, 2)
 class QueryJudgments:
     """Judgments of one query: relation_id -> grade."""
 
-    def __init__(self, query: str, grades: dict[str, int] | None = None):
+    def __init__(self, query: str, grades: dict[str, int] | None = None) -> None:
         self.query = query
         self._grades: dict[str, int] = {}
         for relation_id, grade in (grades or {}).items():

@@ -31,7 +31,7 @@ class Counter:
 
     __slots__ = ("name", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0
         self._lock = threading.Lock()
@@ -66,7 +66,7 @@ class Gauge:
 
     __slots__ = ("name", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0.0
         self._lock = threading.Lock()
@@ -97,7 +97,7 @@ class Histogram:
 
     __slots__ = ("name", "_values", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self._values: list[float] = []
         self._lock = threading.Lock()
@@ -161,7 +161,7 @@ class Timer:
 
     __slots__ = ("_histogram", "_start", "elapsed_ms")
 
-    def __init__(self, histogram: Histogram):
+    def __init__(self, histogram: Histogram) -> None:
         self._histogram = histogram
         self._start = 0.0
         self.elapsed_ms = 0.0

@@ -98,7 +98,7 @@ class Tokenizer:
         Drop tokens shorter than this many characters.
     """
 
-    def __init__(self, remove_stopwords: bool = False, min_token_length: int = 1):
+    def __init__(self, remove_stopwords: bool = False, min_token_length: int = 1) -> None:
         if min_token_length < 1:
             raise ValueError("min_token_length must be >= 1")
         self.remove_stopwords = remove_stopwords

@@ -46,6 +46,27 @@ class TestEmbeddingPersistence:
         with pytest.raises(ConfigurationError):
             load_federation_embeddings(path, SemanticHashEncoder(dim=64))
 
+    def test_engine_load_index_rejects_dim_mismatch(self, engine, tmp_path):
+        """``load_index`` validates the snapshot against ``self.encoder``
+        up front, raising ConfigurationError rather than letting the
+        mismatch surface later as a shape error inside a scan kernel."""
+        path = tmp_path / "emb96_engine.npz"
+        engine.save_index(path)
+        mismatched = DiscoveryEngine(dim=64)
+        with pytest.raises(ConfigurationError):
+            mismatched.load_index(path)
+        assert not mismatched.is_indexed
+
+    def test_sharded_engine_reload_matches_unsharded(self, engine, tmp_path):
+        """A persisted store re-partitions deterministically on load."""
+        path = tmp_path / "sharded.npz"
+        engine.save_index(path)
+        restored = DiscoveryEngine(dim=96, shards=3).load_index(path)
+        for method in ("exs",):
+            a = engine.search("COVID", method=method, k=4, h=-1.0).relation_ids()
+            b = restored.search("COVID", method=method, k=4, h=-1.0).relation_ids()
+            assert a == b
+
     def test_build_seconds_and_generation_roundtrip(self, engine, tmp_path):
         # Regression: build_seconds used to be dropped on save, so
         # every reloaded store claimed a zero-cost build.
