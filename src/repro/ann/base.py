@@ -39,16 +39,31 @@ class VectorIndex(abc.ABC):
 
     Concrete indexes are built once with :meth:`build` (or incrementally
     where supported) and then queried with :meth:`search`.
+
+    Dtype contract: the build dtype (float32 or float64) is preserved —
+    a float32 store is scanned at float32 bandwidth — and queries are
+    cast to it before scoring.  Non-float builds promote to float64.
     """
 
     def __init__(self, metric: Metric = Metric.COSINE) -> None:
         self.metric = metric
         self._dim: int | None = None
+        self._dtype: np.dtype = np.dtype(np.float64)
 
     @property
     def dim(self) -> int | None:
         """Dimensionality of indexed vectors (None before build)."""
         return self._dim
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage/compute dtype (set from the vectors given to build)."""
+        return self._dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of vector/code storage (0 when untracked)."""
+        return 0
 
     @property
     @abc.abstractmethod
@@ -69,26 +84,44 @@ class VectorIndex(abc.ABC):
         The default probes the index once per query — correct for graph
         indexes, whose traversal is inherently sequential per query.
         Scan-based indexes override this with one batched matrix
-        product (see :class:`repro.ann.bruteforce.BruteForceIndex`).
+        product (see :class:`repro.ann.bruteforce.BruteForceIndex` and
+        the batched-ADC path in :class:`repro.ann.pq.PQIndex`).
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        queries = np.atleast_2d(np.asarray(queries))
         return [self.search(query, k) for query in queries]
 
     # -- shared validation helpers -------------------------------------
 
     def _validate_build(self, vectors: np.ndarray) -> np.ndarray:
-        vectors = np.ascontiguousarray(vectors, dtype=np.float64)
+        vectors = np.asarray(vectors)
+        if vectors.dtype not in (np.float32, np.float64):
+            vectors = vectors.astype(np.float64)
+        vectors = np.ascontiguousarray(vectors)
         if vectors.ndim != 2:
             raise DimensionMismatchError("index expects a 2-D (n, dim) array")
         self._dim = vectors.shape[1]
+        self._dtype = vectors.dtype
         return vectors
 
     def _validate_query(self, query: np.ndarray) -> np.ndarray:
         if self.size == 0:
             raise EmptyIndexError(f"{type(self).__name__} is empty")
-        query = np.asarray(query, dtype=np.float64).ravel()
+        query = np.asarray(query, dtype=self._dtype).ravel()
         if self._dim is not None and query.shape[0] != self._dim:
             raise DimensionMismatchError(
                 f"query dim {query.shape[0]} != index dim {self._dim}"
             )
         return query
+
+    def _validate_query_block(self, queries: np.ndarray) -> np.ndarray:
+        """A ``(Q, dim)`` query block cast to the index dtype."""
+        if self.size == 0:
+            raise EmptyIndexError(f"{type(self).__name__} is empty")
+        queries = np.atleast_2d(np.asarray(queries, dtype=self._dtype))
+        if queries.ndim != 2:
+            raise DimensionMismatchError("expected a (Q, dim) query block")
+        if self._dim is not None and queries.shape[1] != self._dim:
+            raise DimensionMismatchError(
+                f"query dim {queries.shape[1]} != index dim {self._dim}"
+            )
+        return queries

@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.ann.base import SearchHit, VectorIndex
 from repro.linalg.distances import Metric, normalize_rows, pairwise_similarity
-from repro.linalg.topk import top_k_indices
+from repro.linalg.topk import top_k_indices, top_k_indices_rowwise
 
 __all__ = ["BruteForceIndex"]
 
@@ -26,6 +26,10 @@ class BruteForceIndex(VectorIndex):
     def size(self) -> int:
         return self._vectors.shape[0]
 
+    @property
+    def nbytes(self) -> int:
+        return int(self._vectors.nbytes)
+
     def build(self, vectors: np.ndarray) -> "BruteForceIndex":
         vectors = self._validate_build(vectors)
         if self.metric is Metric.COSINE:
@@ -44,10 +48,14 @@ class BruteForceIndex(VectorIndex):
 
     def search_batch(self, queries: np.ndarray, k: int) -> list[list[SearchHit]]:
         """Exact k-NN for a batch of queries (one matrix product)."""
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        scores = pairwise_similarity(queries, self._vectors, self.metric)
-        results = []
-        for row in scores:
-            best = top_k_indices(row, k)
-            results.append([SearchHit(int(i), float(row[i])) for i in best])
-        return results
+        queries = self._validate_query_block(queries)
+        if self.metric is Metric.COSINE:
+            # Stored rows are unit vectors; skip re-normalizing them.
+            scores = normalize_rows(queries) @ self._vectors.T
+        else:
+            scores = pairwise_similarity(queries, self._vectors, self.metric)
+        best = top_k_indices_rowwise(scores, k)
+        return [
+            [SearchHit(int(i), float(scores[q, i])) for i in best[q]]
+            for q in range(scores.shape[0])
+        ]

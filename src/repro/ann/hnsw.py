@@ -104,6 +104,10 @@ class HNSWIndex(VectorIndex):
     def size(self) -> int:
         return len(self._graph)
 
+    @property
+    def nbytes(self) -> int:
+        return int(self._vectors.nbytes)
+
     def build(self, vectors: np.ndarray) -> "HNSWIndex":
         """Build the index from scratch over ``vectors``."""
         vectors = self._validate_build(vectors)
@@ -118,7 +122,7 @@ class HNSWIndex(VectorIndex):
 
     def add(self, vectors: np.ndarray) -> "HNSWIndex":
         """Incrementally insert more vectors (must match index dim)."""
-        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=self._dtype))
         if self.size == 0:
             return self.build(vectors)
         if vectors.shape[1] != self._dim:
@@ -269,3 +273,11 @@ class HNSWIndex(VectorIndex):
             entry = self._greedy_closest(query, entry, layer)
         found = self._search_layer(query, [entry], 0, ef)
         return [SearchHit(node, self._score(dist)) for dist, node in found[:k]]
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, ef: int | None = None
+    ) -> list[list[SearchHit]]:
+        """Per-query graph traversal (inherently sequential), sharing
+        validation and the ``ef`` beam width across the block."""
+        queries = self._validate_query_block(queries)
+        return [self.search(query, k, ef=ef) for query in queries]

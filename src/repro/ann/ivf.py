@@ -52,6 +52,10 @@ class IVFFlatIndex(VectorIndex):
     def size(self) -> int:
         return self._vectors.shape[0]
 
+    @property
+    def nbytes(self) -> int:
+        return int(self._vectors.nbytes) + int(self._centroids.nbytes)
+
     def build(self, vectors: np.ndarray) -> "IVFFlatIndex":
         vectors = self._validate_build(vectors)
         if self.metric is Metric.COSINE:

@@ -16,7 +16,7 @@ from repro.ann.base import SearchHit, VectorIndex
 from repro.errors import ConfigurationError, DimensionMismatchError, NotFittedError
 from repro.linalg.distances import Metric, normalize_rows
 from repro.linalg.kmeans import KMeans
-from repro.linalg.topk import top_k_indices
+from repro.linalg.topk import top_k_indices_rowwise
 
 __all__ = ["ProductQuantizer", "PQIndex"]
 
@@ -125,29 +125,50 @@ class ProductQuantizer:
 
     # -- ADC scoring -------------------------------------------------------
 
-    def adc_inner_product_table(self, query: np.ndarray) -> np.ndarray:
-        """Per-subspace inner-product lookup table of shape ``(m, k)``."""
-        codebooks = self._require_fitted()
-        query = np.asarray(query, dtype=np.float64).ravel()
-        self._check_dim(query.shape[0])
+    def _query_block(self, queries: np.ndarray) -> np.ndarray:
+        """Queries as a float64 ``(Q, m, sub_dim)`` subspace tensor."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        self._check_dim(queries.shape[1])
         assert self._sub_dim is not None
-        table = np.zeros((self.n_subvectors, codebooks.shape[1]))
-        for m in range(self.n_subvectors):
-            sub = query[m * self._sub_dim : (m + 1) * self._sub_dim]
-            table[m] = codebooks[m] @ sub
-        return table
+        return queries.reshape(queries.shape[0], self.n_subvectors, self._sub_dim)
+
+    def adc_inner_product_tables(self, queries: np.ndarray) -> np.ndarray:
+        """Inner-product lookup tables for a query block: ``(Q, m, k)``.
+
+        One einsum builds every query's per-subspace table at once —
+        the batched-ADC kernel that lets a whole query block score the
+        code matrix without re-probing per query.
+        """
+        codebooks = self._require_fitted()
+        return np.einsum("mkd,qmd->qmk", codebooks, self._query_block(queries))
+
+    def adc_l2_tables(self, queries: np.ndarray) -> np.ndarray:
+        """Squared-L2 lookup tables for a query block: ``(Q, m, k)``.
+
+        Uses the expanded ``||q-c||² = ||q||² - 2<q,c> + ||c||²`` form
+        so the cross term is one einsum; round-off can leave tiny
+        negatives, which ADC consumers clip before any sqrt.
+        """
+        codebooks = self._require_fitted()
+        q = self._query_block(queries)
+        cross = np.einsum("mkd,qmd->qmk", codebooks, q)
+        q_sq = np.einsum("qmd,qmd->qm", q, q)
+        c_sq = np.einsum("mkd,mkd->mk", codebooks, codebooks)
+        return q_sq[:, :, np.newaxis] - 2.0 * cross + c_sq[np.newaxis, :, :]
+
+    def adc_inner_product_table(self, query: np.ndarray) -> np.ndarray:
+        """Per-subspace inner-product lookup table of shape ``(m, k)``.
+
+        Delegates to the batched kernel with ``Q=1`` so single-query
+        and batched serving produce bitwise-identical tables.
+        """
+        return self.adc_inner_product_tables(
+            np.asarray(query, dtype=np.float64).ravel()
+        )[0]
 
     def adc_l2_table(self, query: np.ndarray) -> np.ndarray:
         """Per-subspace squared-L2 lookup table of shape ``(m, k)``."""
-        codebooks = self._require_fitted()
-        query = np.asarray(query, dtype=np.float64).ravel()
-        self._check_dim(query.shape[0])
-        assert self._sub_dim is not None
-        table = np.zeros((self.n_subvectors, codebooks.shape[1]))
-        for m in range(self.n_subvectors):
-            sub = query[m * self._sub_dim : (m + 1) * self._sub_dim]
-            table[m] = np.sum((codebooks[m] - sub) ** 2, axis=1)
-        return table
+        return self.adc_l2_tables(np.asarray(query, dtype=np.float64).ravel())[0]
 
     @staticmethod
     def adc_scores(table: np.ndarray, codes: np.ndarray) -> np.ndarray:
@@ -155,6 +176,19 @@ class ProductQuantizer:
         codes = np.atleast_2d(np.asarray(codes))
         m = codes.shape[1]
         return table[np.arange(m)[np.newaxis, :], codes].sum(axis=1)
+
+    @staticmethod
+    def adc_scores_batch(tables: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """ADC scores of every code row under every query: ``(Q, n)``.
+
+        ``tables`` is the ``(Q, m, k)`` output of the batched table
+        builders.  The gather runs over all queries at once; summation
+        order over subspaces matches :meth:`adc_scores`, so row ``q``
+        is bitwise identical to scoring with ``tables[q]`` alone.
+        """
+        codes = np.atleast_2d(np.asarray(codes))
+        m = codes.shape[1]
+        return tables[:, np.arange(m)[np.newaxis, :], codes].sum(axis=2)
 
     def compression_ratio(self, dim: int) -> float:
         """Bytes saved: float64 vector bytes over code bytes."""
@@ -185,6 +219,13 @@ class PQIndex(VectorIndex):
     def size(self) -> int:
         return self._codes.shape[0]
 
+    @property
+    def nbytes(self) -> int:
+        codebooks = self.quantizer.codebooks_
+        return int(self._codes.nbytes) + (
+            int(codebooks.nbytes) if codebooks is not None else 0
+        )
+
     def build(self, vectors: np.ndarray) -> "PQIndex":
         vectors = self._validate_build(vectors)
         if self.metric is Metric.COSINE:
@@ -194,14 +235,26 @@ class PQIndex(VectorIndex):
         return self
 
     def search(self, query: np.ndarray, k: int) -> list[SearchHit]:
-        query = self._validate_query(query)
+        # Delegate through the batched kernel with Q=1: sequential and
+        # batched serving share every arithmetic step bit for bit.
+        return self.search_batch(self._validate_query(query)[np.newaxis, :], k)[0]
+
+    def search_batch(self, queries: np.ndarray, k: int) -> list[list[SearchHit]]:
+        """Batched ADC: one einsum builds all lookup tables, one gather
+        scores every code row under every query."""
+        queries = self._validate_query_block(queries)
         if self.metric is Metric.COSINE:
-            query = normalize_rows(query)
+            queries = normalize_rows(queries)
         if self.metric is Metric.EUCLIDEAN:
-            table = self.quantizer.adc_l2_table(query)
-            scores = -np.sqrt(np.clip(self.quantizer.adc_scores(table, self._codes), 0, None))
+            tables = self.quantizer.adc_l2_tables(queries)
+            scores = -np.sqrt(
+                np.clip(self.quantizer.adc_scores_batch(tables, self._codes), 0, None)
+            )
         else:
-            table = self.quantizer.adc_inner_product_table(query)
-            scores = self.quantizer.adc_scores(table, self._codes)
-        best = top_k_indices(scores, k)
-        return [SearchHit(int(i), float(scores[i])) for i in best]
+            tables = self.quantizer.adc_inner_product_tables(queries)
+            scores = self.quantizer.adc_scores_batch(tables, self._codes)
+        best = top_k_indices_rowwise(scores, k)
+        return [
+            [SearchHit(int(i), float(scores[q, i])) for i in best[q]]
+            for q in range(scores.shape[0])
+        ]

@@ -59,6 +59,10 @@ class ANNSearch(SearchMethod):
         fixed-size average keeps the paper's "average of the
         similarity scores of the vectors of the relation identified by
         ANN" while rewarding evidence breadth.
+    dtype:
+        Storage dtype of the values collection (float32 or float64).
+        float32 — the encoder's native precision — halves resident
+        vector memory; float64 is the compat mode.
     """
 
     name = "anns"
@@ -74,12 +78,14 @@ class ANNSearch(SearchMethod):
         ef_search: int = 64,
         evidence_size: int = 8,
         seed: int = 0,
+        dtype: "str | np.dtype[Any] | type" = np.float64,
     ) -> None:
         super().__init__()
         if n_candidates is not None and n_candidates < 1:
             raise ValueError("n_candidates must be >= 1 (or None for auto)")
         self.n_candidates = n_candidates
         self.index_kind = IndexKind(index_kind)
+        self.dtype = np.dtype(dtype)
         self.n_subvectors = n_subvectors
         self.n_centroids = n_centroids
         self.m = m
@@ -100,6 +106,12 @@ class ANNSearch(SearchMethod):
         if self._db is None:
             raise RuntimeError("ANNSearch not indexed yet")
         return self._db
+
+    def index_bytes(self) -> int:
+        """Resident bytes of the values collection (vectors + codes)."""
+        if self._db is None:
+            return 0
+        return self._db.get_collection("values").nbytes
 
     def _index_params(self) -> dict[str, Any]:
         if self.index_kind is IndexKind.EXACT:
@@ -132,7 +144,9 @@ class ANNSearch(SearchMethod):
         value is evidence for every relation that contains it.
         """
         db = VectorDatabase(metrics=self.metrics)
-        collection = db.create_collection("values", dim=self.embeddings.dim, metric=Metric.COSINE)
+        collection = db.create_collection(
+            "values", dim=self.embeddings.dim, metric=Metric.COSINE, dtype=self.dtype
+        )
         owners: dict[str, list[list[Any]]] = {}
         vectors: dict[str, np.ndarray] = {}
         for rel in self.embeddings.relations:

@@ -77,6 +77,15 @@ class SearchMethod(abc.ABC):
     def _build(self) -> None:
         """Method-specific index construction (may be a no-op)."""
 
+    def index_bytes(self) -> int:
+        """Resident bytes of this method's vector/code storage.
+
+        Feeds the ``engine.index_bytes`` gauge so storage-dtype and
+        compression wins are visible in ``metrics.snapshot()``; 0 when
+        the method tracks no resident arrays (or is not yet built).
+        """
+        return 0
+
     # -- incremental lifecycle ---------------------------------------------
 
     def apply_delta(

@@ -155,6 +155,11 @@ class ClusteredTargetedSearch(SearchMethod):
         self._medoid_scale = 1.0
         self._drift_assigned = 0
 
+    def index_bytes(self) -> int:
+        """Resident bytes of the stacked value matrix (float64 — CTS's
+        reduction/clustering pipeline stays in compat precision)."""
+        return int(self._stacked.nbytes) if self._stacked is not None else 0
+
     # -- offline indexing --------------------------------------------------
 
     def _build(self) -> None:

@@ -18,6 +18,8 @@ one.
 from __future__ import annotations
 
 import threading
+
+import numpy as np
 from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
 from typing import Any
@@ -65,6 +67,14 @@ class DiscoveryEngine:
     method_params:
         Per-method constructor overrides, e.g.
         ``{"cts": {"top_clusters": 3}, "anns": {"n_candidates": 64}}``.
+    dtype:
+        Storage/compute dtype for the scan methods (ExS stacked matrix,
+        ANNS values collection).  The default float32 matches the
+        encoder's native precision, halving resident index memory and
+        scan bandwidth; pass ``numpy.float64`` for the historical
+        upcast-everything compat mode.  CTS's reduction/clustering
+        pipeline stays float64 in both modes.  Per-method
+        ``method_params`` overrides win over this knob.
     shards:
         Number of store shards.  The default ``1`` keeps today's
         monolithic layout; ``shards=N`` partitions the federation with
@@ -94,11 +104,15 @@ class DiscoveryEngine:
         method_params: dict[str, dict[str, Any]] | None = None,
         shards: int = 1,
         shard_seed: int = 0,
+        dtype: "str | np.dtype | type" = np.float32,
     ) -> None:
         if encoder is None:
             encoder = CachingEncoder(SemanticHashEncoder(dim=dim))
         self.encoder = encoder
         self.method_params = dict(method_params or {})
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ConfigurationError("dtype must be float32 or float64")
         unknown = set(self.method_params) - set(self.METHODS)
         if unknown:
             raise ConfigurationError(f"unknown methods in method_params: {sorted(unknown)}")
@@ -180,9 +194,9 @@ class DiscoveryEngine:
     def _make_method(self, name: str) -> SearchMethod:
         params = self.method_params.get(name, {})
         if name == "exs":
-            return ExhaustiveSearch(**params)
+            return ExhaustiveSearch(**{"dtype": self.dtype, **params})
         if name == "anns":
-            return ANNSearch(**params)
+            return ANNSearch(**{"dtype": self.dtype, **params})
         if name == "cts":
             return ClusteredTargetedSearch(**params)
         raise ConfigurationError(
@@ -206,7 +220,13 @@ class DiscoveryEngine:
                     method.metrics = self.metrics
                     method.index(self.embeddings)
                     self._methods[name] = method
+                    self._publish_index_bytes()
         return self._methods[name]
+
+    def _publish_index_bytes(self) -> None:
+        """Total resident vector/code bytes across built method indexes."""
+        total = sum(method.index_bytes() for method in self._methods.values())
+        self.metrics.gauge("engine.index_bytes").set(float(total))
 
     def build_all(self) -> "DiscoveryEngine":
         """Eagerly build every method's index (used before timing runs)."""
@@ -307,6 +327,7 @@ class DiscoveryEngine:
         self.metrics.counter("engine.relations_updated").inc(len(updated))
         self.metrics.counter("engine.relations_removed").inc(len(removed))
         self.metrics.gauge("engine.generation").set(store.generation)
+        self._publish_index_bytes()
         return FederationDelta(
             added=tuple(added),
             updated=tuple(updated),

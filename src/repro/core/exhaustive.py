@@ -10,12 +10,22 @@ bookkeeping (which contiguous row block belongs to which relation).
 Federation deltas patch those arrays in place — removed/updated blocks
 are masked out, fresh blocks appended — so absorbing a delta never
 re-embeds or re-stacks untouched relations.
+
+The serving kernel is *fused*: instead of one small GEMM per relation
+(O(#relations) Python dispatch per query block), the whole stacked
+matrix is multiplied against the query block in one GEMM and the
+per-relation means fall out of a single ``np.add.reduceat`` segment
+reduction over precomputed block offsets, with the count weights
+pre-folded into a per-row weight vector at build/delta time.  The
+``max_mean`` ablation takes a segmented-partition path over the same
+fused similarity matrix.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
+from typing import Any
 
 import numpy as np
 
@@ -42,9 +52,20 @@ class ExhaustiveSearch(SearchMethod):
         each attribute vector" one attribute at a time; the default
         mirrors that per-attribute loop (and its cost profile — ExS is
         the paper's slowest method by an order of magnitude).  Set
-        True for a batched matrix scan that produces identical scores.
-        :meth:`search_batch` always scans in matrix form: it scores the
-        whole ``(Q, d)`` query block against each relation in one GEMM.
+        True to serve single queries through the fused matrix kernel.
+    fused:
+        Whether :meth:`search_batch` scans with the fused
+        federation-wide kernel (one GEMM over the whole stacked matrix
+        plus a segment reduction).  ``False`` falls back to the legacy
+        per-relation GEMM loop — kept as the reference implementation
+        for rank-identity tests and the fused-vs-per-block benchmark.
+    dtype:
+        Storage/compute dtype of the stacked matrix.  ``float32`` (the
+        encoder's native precision) halves memory and bandwidth;
+        ``float64`` is the compat mode matching the historical
+        upcast-everything behavior.  Aggregation weights stay float64
+        in both modes so segment means lose no precision beyond the
+        similarity dtype itself.
     """
 
     name = "exs"
@@ -54,6 +75,8 @@ class ExhaustiveSearch(SearchMethod):
         aggregate: str = "mean",
         top_fraction: float = 0.1,
         vectorized: bool = False,
+        fused: bool = True,
+        dtype: "str | np.dtype[Any] | type" = np.float32,
     ):
         super().__init__()
         if aggregate not in ("mean", "max_mean"):
@@ -63,20 +86,57 @@ class ExhaustiveSearch(SearchMethod):
         self.aggregate = aggregate
         self.top_fraction = top_fraction
         self.vectorized = vectorized
+        self.fused = fused
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError("dtype must be float32 or float64")
         self._matrix: np.ndarray | None = None
         self._counts: np.ndarray | None = None
         self._block_ids: list[str] = []
         self._block_sizes: list[int] = []
         self._block_cells: dict[str, int] = {}
+        #: Start row of each stacked block (``np.add.reduceat`` offsets).
+        self._offsets: np.ndarray = np.empty(0, dtype=np.intp)
+        #: Per-row weight = count / block count-sum, so a segment sum of
+        #: ``weight * sim`` IS the multiplicity-weighted block mean.
+        self._row_weights: np.ndarray = np.empty(0, dtype=np.float64)
+
+    def index_bytes(self) -> int:
+        """Resident bytes of the stacked vector matrix."""
+        return int(self._matrix.nbytes) if self._matrix is not None else 0
 
     def _build(self) -> None:
         # Stack every relation's vectors once; queries scan the blocks.
         relations = self.embeddings.relations
-        self._matrix = np.vstack([r.vectors for r in relations])
+        self._matrix = np.vstack([r.vectors for r in relations]).astype(
+            self.dtype, copy=False
+        )
         self._counts = np.concatenate([r.counts for r in relations])
         self._block_ids = [r.relation_id for r in relations]
         self._block_sizes = [r.n_unique for r in relations]
         self._block_cells = {r.relation_id: r.n_cells for r in relations}
+        self._refresh_segments()
+
+    def _refresh_segments(self) -> None:
+        """Recompute the reduceat offsets and pre-folded mean weights.
+
+        Called whenever the stacked layout changes (build or delta).
+        Weights are float64 regardless of the storage dtype: they cost
+        8 bytes/row but keep the segment reduction's normalization
+        exact, so float32 mode loses precision only where the GEMM
+        already did.
+        """
+        assert self._counts is not None
+        sizes = np.asarray(self._block_sizes, dtype=np.intp)
+        self._offsets = np.concatenate(
+            [np.zeros(1, dtype=np.intp), np.cumsum(sizes)[:-1]]
+        )
+        counts = self._counts.astype(np.float64)
+        if counts.size:
+            totals = np.add.reduceat(counts, self._offsets)
+            self._row_weights = counts / np.repeat(totals, sizes)
+        else:
+            self._row_weights = np.empty(0, dtype=np.float64)
 
     def _apply_delta(
         self,
@@ -107,12 +167,15 @@ class ExhaustiveSearch(SearchMethod):
             self._block_sizes = kept_sizes
         fresh = updated + added
         if fresh:
-            self._matrix = np.vstack([self._matrix] + [r.vectors for r in fresh])
+            self._matrix = np.vstack(
+                [self._matrix] + [r.vectors.astype(self.dtype, copy=False) for r in fresh]
+            )
             self._counts = np.concatenate([self._counts] + [r.counts for r in fresh])
             for rel in fresh:
                 self._block_ids.append(rel.relation_id)
                 self._block_sizes.append(rel.n_unique)
                 self._block_cells[rel.relation_id] = rel.n_cells
+        self._refresh_segments()
 
     def _blocks(self) -> list[tuple[str, int, int]]:
         """(relation_id, start_row, stop_row) per stacked block."""
@@ -131,24 +194,27 @@ class ExhaustiveSearch(SearchMethod):
         top = np.partition(sims, sims.shape[0] - keep)[-keep:]
         return float(top.mean())
 
-    def _score_all(self, query: str) -> list[RelationMatch]:
+    def _encode_query(self, query: str) -> np.ndarray:
         with self.metrics.timer(f"{self.name}.encode"):
-            q = self.embeddings.encode_query(query)
+            return self.embeddings.encode_query(query).astype(self.dtype, copy=False)
+
+    def _score_all(self, query: str) -> list[RelationMatch]:
+        q = self._encode_query(query)
         assert self._matrix is not None and self._counts is not None
+        if self.vectorized:
+            # Single query through the fused kernel (a (n, 1) GEMM).
+            return self._scan_fused(np.ascontiguousarray(q[np.newaxis, :]))[0]
         matches = []
         with self.metrics.timer(f"{self.name}.scan"):
             for rid, start, stop in self._blocks():
                 block = self._matrix[start:stop]
-                if self.vectorized:
-                    sims = block @ q  # unit vectors: dot == cosine
-                else:
-                    # Algorithm 1: "foreach Attribute v in r: compute the
-                    # similarity score s between q' and w".
-                    sims = np.fromiter(
-                        (float(np.dot(block[i], q)) for i in range(block.shape[0])),
-                        dtype=np.float64,
-                        count=block.shape[0],
-                    )
+                # Algorithm 1: "foreach Attribute v in r: compute the
+                # similarity score s between q' and w".
+                sims = np.fromiter(
+                    (float(np.dot(block[i], q)) for i in range(block.shape[0])),
+                    dtype=np.float64,
+                    count=block.shape[0],
+                )
                 matches.append(
                     RelationMatch(
                         relation_id=rid,
@@ -163,17 +229,93 @@ class ExhaustiveSearch(SearchMethod):
     def _encode_block(self, queries: Sequence[str]) -> np.ndarray:
         """The ``(Q, d)`` matrix of encoded query vectors."""
         with self.metrics.timer(f"{self.name}.encode"):
-            return np.stack([self.embeddings.encode_query(q) for q in queries])
+            block = np.stack([self.embeddings.encode_query(q) for q in queries])
+        return block.astype(self.dtype, copy=False)
+
+    def _segment_scores(
+        self, sims: np.ndarray, offsets: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        """Per-relation scores of a fused ``(rows, Q)`` similarity slab.
+
+        ``mean``: one segment reduction of the weight-folded similarities
+        (weights are float64, so the reduction upcasts float32 sims and
+        the normalization is exact).  ``max_mean``: a segmented
+        partition — the GEMM is already fused, only the per-segment
+        top-fraction selection walks the blocks.
+        """
+        if self.aggregate == "mean":
+            return np.add.reduceat(sims * weights[:, np.newaxis], offsets, axis=0)
+        bounds = np.append(offsets, sims.shape[0])
+        scores = np.empty((len(offsets), sims.shape[1]), dtype=np.float64)
+        for i in range(len(offsets)):
+            seg = sims[bounds[i] : bounds[i + 1]]
+            keep = max(1, int(np.ceil(self.top_fraction * seg.shape[0])))
+            top = np.partition(seg, seg.shape[0] - keep, axis=0)
+            scores[i] = top[seg.shape[0] - keep :].mean(axis=0)
+        return scores
+
+    def _emit_matches(
+        self, block_ids: Sequence[str], scores: np.ndarray
+    ) -> list[list[RelationMatch]]:
+        """Turn a ``(R, Q)`` score matrix into per-query match lists."""
+        n_queries = scores.shape[1]
+        cells = [self._block_cells[rid] for rid in block_ids]
+        return [
+            [
+                RelationMatch(
+                    relation_id=rid,
+                    score=float(scores[r, b]),
+                    details={"n_values": cells[r]},
+                )
+                for r, rid in enumerate(block_ids)
+            ]
+            for b in range(n_queries)
+        ]
+
+    def _scan_fused(
+        self,
+        query_block: np.ndarray,
+        block_range: range | None = None,
+    ) -> list[list[RelationMatch]]:
+        """Fused scan: one GEMM over (a row range of) the stacked matrix.
+
+        ``block_range`` restricts the scan to a contiguous range of
+        relation blocks — the unit the parallel path chunks by, mapped
+        to a row range so workers slice the matrix instead of looping
+        relation lists.
+        """
+        assert self._matrix is not None
+        if block_range is None:
+            block_range = range(len(self._block_ids))
+        if len(block_range) == 0:
+            return [[] for _ in range(query_block.shape[0])]
+        row_start = int(self._offsets[block_range.start])
+        row_stop = (
+            int(self._offsets[block_range.stop])
+            if block_range.stop < len(self._block_ids)
+            else self._matrix.shape[0]
+        )
+        offsets = self._offsets[block_range.start : block_range.stop] - row_start
+        with self.metrics.timer(f"{self.name}.scan"):
+            rows = self._matrix[row_start:row_stop]
+            sims = rows @ query_block.T  # (rows, Q), one GEMM
+            self.metrics.counter(f"{self.name}.fused_rows").inc(
+                rows.shape[0] * query_block.shape[0]
+            )
+            scores = self._segment_scores(
+                sims, offsets, self._row_weights[row_start:row_stop]
+            )
+        block_ids = self._block_ids[block_range.start : block_range.stop]
+        return self._emit_matches(block_ids, scores)
 
     def _scan_blocks(
         self, query_block: np.ndarray, blocks: Sequence[tuple[str, int, int]]
     ) -> list[list[RelationMatch]]:
-        """Score every query against ``blocks``, one GEMM per relation.
+        """Legacy scan: score ``blocks`` one per-relation GEMM at a time.
 
-        ``matrix[start:stop] @ query_block.T`` is an ``(n_unique, Q)``
-        product: the per-query columns see exactly the values the
-        sequential scan sees, but the hardware sees one matrix-matrix
-        multiply instead of Q matrix-vector passes over the same memory.
+        Kept as the reference path (``fused=False``): rank-identity
+        tests pin the fused kernel against it and the benchmark
+        measures what the fusion buys.
         """
         assert self._matrix is not None and self._counts is not None
         block_t = np.ascontiguousarray(query_block.T)
@@ -200,7 +342,10 @@ class ExhaustiveSearch(SearchMethod):
         return per_query
 
     def _score_batch(self, queries: Sequence[str]) -> list[list[RelationMatch]]:
-        return self._scan_blocks(self._encode_block(queries), self._blocks())
+        block = self._encode_block(queries)
+        if self.fused:
+            return self._scan_fused(block)
+        return self._scan_blocks(block, self._blocks())
 
     def _score_batch_parallel(
         self, queries: Sequence[str], workers: int
@@ -208,22 +353,28 @@ class ExhaustiveSearch(SearchMethod):
         """Chunk the *relations* (not the queries) across the pool.
 
         ExS work scales with federation size, not query count, so the
-        scan parallelizes along relations; each worker runs the batched
-        GEMM over its slice and the per-query score lists are stitched
-        back together in relation order.
+        scan parallelizes along relations.  With the fused kernel each
+        worker runs one GEMM + segment reduction over its contiguous
+        *row range*; per-query score lists are stitched back together
+        in relation order.
         """
-        blocks = self._blocks()
-        chunks = even_chunks(len(blocks), workers)
+        n_blocks = len(self._block_ids)
+        chunks = even_chunks(n_blocks, workers)
         block = self._encode_block(queries)
         if len(chunks) < 2:
-            return self._scan_blocks(block, blocks)
-        with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-            parts = list(
-                pool.map(
-                    lambda c: self._scan_blocks(block, [blocks[i] for i in c]),
-                    chunks,
+            return self._score_batch(queries)
+        if self.fused:
+            with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+                parts = list(pool.map(lambda c: self._scan_fused(block, c), chunks))
+        else:
+            blocks = self._blocks()
+            with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+                parts = list(
+                    pool.map(
+                        lambda c: self._scan_blocks(block, [blocks[i] for i in c]),
+                        chunks,
+                    )
                 )
-            )
         merged: list[list[RelationMatch]] = [[] for _ in queries]
         for part in parts:
             for b, matches in enumerate(part):

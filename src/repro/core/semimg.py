@@ -73,6 +73,11 @@ class RelationEmbedding:
     def dim(self) -> int:
         return self.vectors.shape[1]
 
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint of the embedding payload."""
+        return int(self.vectors.nbytes + self.counts.nbytes)
+
 
 def build_relation_embedding(
     relation_id: str, relation: Relation, encoder: SentenceEncoder
@@ -154,6 +159,11 @@ class FederationEmbeddings:
     @property
     def total_vectors(self) -> int:
         return sum(r.n_unique for r in self.relations)
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint across all relation embeddings."""
+        return sum(r.nbytes for r in self.relations)
 
     def relation_ids(self) -> list[str]:
         return [r.relation_id for r in self.relations]

@@ -250,6 +250,10 @@ class ShardedSearch(SearchMethod):
     def _live(self) -> list[SearchMethod]:
         return [method for method in self._shard_methods if method is not None]
 
+    def index_bytes(self) -> int:
+        """Total resident bytes across live shard indexes."""
+        return sum(method.index_bytes() for method in self._live())
+
     # -- incremental lifecycle ---------------------------------------------
 
     def _apply_delta(

@@ -8,10 +8,11 @@ from repro.linalg.distances import (
     normalize_rows,
     pairwise_distance,
     pairwise_similarity,
+    row_norms,
     similarity,
 )
 from repro.linalg.kmeans import KMeans
-from repro.linalg.topk import top_k_indices
+from repro.linalg.topk import top_k_indices, top_k_indices_rowwise
 
 __all__ = [
     "KMeans",
@@ -22,6 +23,8 @@ __all__ = [
     "normalize_rows",
     "pairwise_distance",
     "pairwise_similarity",
+    "row_norms",
     "similarity",
     "top_k_indices",
+    "top_k_indices_rowwise",
 ]

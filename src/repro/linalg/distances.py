@@ -5,6 +5,12 @@ dtype and are pure numpy — no Python-level loops over points.  The
 ``Metric`` enum is the single source of truth for which metrics the
 vector database and ANN indexes support, mirroring Qdrant's cosine /
 dot / euclidean options mentioned in the paper (Sec 4.2).
+
+Dtype contract: float32 and float64 inputs are processed — and scored —
+in their own precision (no silent upcast to float64), so a float32
+store pays float32 bandwidth end to end.  Non-float inputs are promoted
+to float64.  Mixed-precision pairs follow numpy promotion (f32 × f64 →
+f64); callers that care should cast both operands up front.
 """
 
 from __future__ import annotations
@@ -42,13 +48,21 @@ class Metric(str, enum.Enum):
         return self is not Metric.EUCLIDEAN
 
 
+def _as_float(array: np.ndarray) -> np.ndarray:
+    """The array as float32/float64 (anything else promotes to float64)."""
+    out = np.asarray(array)
+    if out.dtype not in (np.float32, np.float64):
+        out = out.astype(np.float64)
+    return out
+
+
 def _as_2d(array: np.ndarray) -> np.ndarray:
-    array = np.asarray(array, dtype=np.float64)
-    if array.ndim == 1:
-        return array[np.newaxis, :]
-    if array.ndim != 2:
-        raise DimensionMismatchError(f"expected 1-D or 2-D array, got ndim={array.ndim}")
-    return array
+    out = _as_float(array)
+    if out.ndim == 1:
+        return out[np.newaxis, :]
+    if out.ndim != 2:
+        raise DimensionMismatchError(f"expected 1-D or 2-D array, got ndim={out.ndim}")
+    return out
 
 
 def _check_dims(a: np.ndarray, b: np.ndarray) -> None:
@@ -58,26 +72,49 @@ def _check_dims(a: np.ndarray, b: np.ndarray) -> None:
         )
 
 
+def row_norms(matrix: np.ndarray) -> np.ndarray:
+    """L2 norm of each row, in the matrix's (float) dtype.
+
+    Computed with a row-wise ``einsum`` self-product so each row's norm
+    depends only on that row's contents — the same row yields the same
+    bits whether it arrives alone or inside a larger block, which the
+    incremental-upsert paths rely on for delta-vs-rebuild identity.
+    """
+    matrix = _as_float(matrix)
+    if matrix.ndim == 1:
+        matrix = matrix[np.newaxis, :]
+    return np.sqrt(np.einsum("ij,ij->i", matrix, matrix))
+
+
 def normalize_rows(matrix: np.ndarray) -> np.ndarray:
-    """L2-normalize each row; zero rows stay zero."""
-    matrix = np.asarray(matrix, dtype=np.float64)
+    """L2-normalize each row; zero rows stay zero.  Dtype-preserving."""
+    matrix = _as_float(matrix)
     if matrix.ndim == 1:
         norm = np.linalg.norm(matrix)
         return matrix / norm if norm > _EPS else matrix.copy()
     norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-    norms = np.where(norms > _EPS, norms, 1.0)
+    norms = np.where(norms > _EPS, norms, matrix.dtype.type(1.0))
     return matrix / norms
 
 
-def cosine_similarity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def cosine_similarity(
+    a: np.ndarray, b: np.ndarray, normalized: bool = False
+) -> np.ndarray:
     """Cosine similarity between rows of ``a`` and rows of ``b``.
 
     Returns an ``(len(a), len(b))`` matrix; 1-D inputs are treated as a
     single row, so two vectors yield a ``(1, 1)`` matrix — use
     :func:`similarity` for a scalar convenience wrapper.
+
+    ``normalized=True`` asserts both operands already hold unit rows
+    and skips the two O(n·d) normalization passes, reducing the call to
+    one bare GEMM — the fast path for stores that normalize at insert
+    time instead of once per query.
     """
     a2, b2 = _as_2d(a), _as_2d(b)
     _check_dims(a2, b2)
+    if normalized:
+        return a2 @ b2.T
     return normalize_rows(a2) @ normalize_rows(b2).T
 
 
@@ -127,8 +164,8 @@ def pairwise_distance(a: np.ndarray, b: np.ndarray, metric: Metric) -> np.ndarra
 
 def similarity(a: np.ndarray, b: np.ndarray, metric: Metric = Metric.COSINE) -> float:
     """Scalar similarity between two single vectors."""
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
+    a = _as_float(a)
+    b = _as_float(b)
     if a.ndim != 1 or b.ndim != 1:
         raise DimensionMismatchError("similarity() expects two 1-D vectors")
     return float(pairwise_similarity(a, b, metric)[0, 0])

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["top_k_indices"]
+__all__ = ["top_k_indices", "top_k_indices_rowwise"]
 
 
 def top_k_indices(scores: np.ndarray, k: int, largest: bool = True) -> np.ndarray:
@@ -29,3 +29,31 @@ def top_k_indices(scores: np.ndarray, k: int, largest: bool = True) -> np.ndarra
     # Stable sort of the candidates: primary key score, secondary index.
     order = np.lexsort((candidate, keys[candidate]))
     return candidate[order]
+
+
+def top_k_indices_rowwise(scores: np.ndarray, k: int, largest: bool = True) -> np.ndarray:
+    """Per-row top-k of a 2-D ``(Q, n)`` score matrix, best first.
+
+    One ``argpartition`` along ``axis=1`` selects every row's candidate
+    set at once, so a batched scan ranks all its queries without a
+    Python-level loop.  Returns a ``(Q, min(k, n))`` index matrix whose
+    row ``i`` equals ``top_k_indices(scores[i], k, largest)`` — same
+    selection, same stable index-order tie-breaking.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim != 2:
+        raise ValueError(f"expected 2-D scores, got ndim={scores.ndim}")
+    n_queries, n = scores.shape
+    if k <= 0 or n == 0 or n_queries == 0:
+        return np.empty((n_queries, 0), dtype=np.intp)
+    k = min(k, n)
+    keys = -scores if largest else scores
+    if k == n:
+        candidate = np.broadcast_to(np.arange(n), (n_queries, n))
+    else:
+        candidate = np.argpartition(keys, k - 1, axis=1)[:, :k]
+    row_keys = np.take_along_axis(keys, candidate, axis=1)
+    # lexsort sorts along the last axis independently per row: primary
+    # key score, secondary original index (stable ties).
+    order = np.lexsort((candidate, row_keys))
+    return np.take_along_axis(candidate, order, axis=1).astype(np.intp, copy=False)

@@ -19,8 +19,8 @@ from repro.errors import (
     DimensionMismatchError,
     PointNotFoundError,
 )
-from repro.linalg.distances import Metric, pairwise_similarity
-from repro.linalg.topk import top_k_indices
+from repro.linalg.distances import Metric, normalize_rows, pairwise_similarity, row_norms
+from repro.linalg.topk import top_k_indices, top_k_indices_rowwise
 from repro.obs import MetricsRegistry
 from repro.vectordb.filters import Filter
 from repro.vectordb.index import IndexKind, make_index
@@ -63,6 +63,11 @@ class Collection:
         latency into; a private registry is created when not given, so
         recording is unconditional and an engine can inject its shared
         one.
+    dtype:
+        Storage/compute dtype for vectors (float32 or float64, default
+        float64 for backwards compatibility).  float32 halves resident
+        memory and scan bandwidth; the engine's ``dtype`` knob selects
+        it for the ANNS values collection.
     """
 
     def __init__(
@@ -71,6 +76,7 @@ class Collection:
         dim: int,
         metric: Metric = Metric.COSINE,
         metrics: MetricsRegistry | None = None,
+        dtype: "str | np.dtype[Any] | type" = np.float64,
     ):
         if dim < 1:
             raise CollectionError("dim must be >= 1")
@@ -78,13 +84,20 @@ class Collection:
         self.dim = dim
         self.metric = metric
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise CollectionError("dtype must be float32 or float64")
         self._ids: list[int | str] = []
         self._id_to_row: dict[int | str, int] = {}
-        self._vectors = np.empty((0, dim), dtype=np.float64)
+        self._vectors = np.empty((0, dim), dtype=self.dtype)
         self._payloads: list[dict[str, Any]] = []
         self._index: VectorIndex | None = None
         self._index_kind: IndexKind | None = None
         self._index_stale = False
+        # Cached row norms make cosine exact search a bare GEMM (no
+        # per-query O(n·d) normalization pass over the store).
+        self._norms = np.empty(0, dtype=self.dtype)
+        self._norms_stale = False
 
     # -- mutation --------------------------------------------------------
 
@@ -92,7 +105,7 @@ class Collection:
         """Insert new points or overwrite existing ids."""
         fresh_vectors: list[np.ndarray] = []
         for point in points:
-            vector = np.asarray(point.vector, dtype=np.float64).ravel()
+            vector = np.asarray(point.vector, dtype=self.dtype).ravel()
             if vector.shape[0] != self.dim:
                 raise DimensionMismatchError(
                     f"point {point.id!r}: dim {vector.shape[0]} != collection dim {self.dim}"
@@ -110,6 +123,8 @@ class Collection:
             self._vectors = np.vstack([self._vectors, np.vstack(fresh_vectors)])
         if points:
             self._index_stale = True
+            self._norms_stale = True
+            self._publish_bytes()
 
     def delete(self, ids: list[int | str]) -> int:
         """Delete points by id; returns how many existed."""
@@ -122,6 +137,8 @@ class Collection:
         self._payloads = [self._payloads[row] for row in keep]
         self._id_to_row = {pid: row for row, pid in enumerate(self._ids)}
         self._index_stale = True
+        self._norms_stale = True
+        self._publish_bytes()
         return len(to_drop)
 
     # -- access ---------------------------------------------------------
@@ -154,6 +171,29 @@ class Collection:
         view.flags.writeable = False
         return view
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes: raw vectors + cached norms + index storage."""
+        total = int(self._vectors.nbytes) + int(self._norms.nbytes)
+        if self._index is not None:
+            total += self._index.nbytes
+        return total
+
+    def _publish_bytes(self) -> None:
+        self.metrics.gauge(f"vectordb.{self.name}.bytes").set(float(self.nbytes))
+
+    def _cosine_norms(self) -> np.ndarray:
+        """Cached per-row L2 norms (zero rows mapped to 1 so the
+        division is safe and zero vectors keep score 0)."""
+        if self._norms_stale or self._norms.shape[0] != len(self):
+            norms = row_norms(self._vectors) if len(self) else np.empty(0, self.dtype)
+            self._norms = np.where(norms > 1e-12, norms, norms.dtype.type(1.0)).astype(
+                self.dtype, copy=False
+            )
+            self._norms_stale = False
+            self._publish_bytes()
+        return self._norms
+
     # -- indexing ---------------------------------------------------------
 
     def create_index(self, kind: IndexKind | str = IndexKind.HNSW, **params) -> None:
@@ -163,6 +203,7 @@ class Collection:
         if len(self) > 0:
             self._index.build(self._vectors)
         self._index_stale = False
+        self._publish_bytes()
 
     @property
     def index_kind(self) -> IndexKind | None:
@@ -173,6 +214,7 @@ class Collection:
             if len(self) > 0:
                 self._index.build(self._vectors)
             self._index_stale = False
+            self._publish_bytes()
 
     # -- search ------------------------------------------------------------
 
@@ -198,7 +240,7 @@ class Collection:
         """
         if len(self) == 0:
             return []
-        query = np.asarray(query, dtype=np.float64).ravel()
+        query = np.asarray(query, dtype=self.dtype).ravel()
         if query.shape[0] != self.dim:
             raise DimensionMismatchError(
                 f"query dim {query.shape[0]} != collection dim {self.dim}"
@@ -222,11 +264,13 @@ class Collection:
 
         Exact (index-less) collections answer the whole block with one
         similarity GEMM followed by per-row top-k selection; indexed
-        collections probe the index per query but amortize validation
-        and staleness checks across the block.  Per-query results are
-        identical to :meth:`search` up to BLAS reduction order.
+        collections check staleness once for the whole block, then hand
+        the block to the index's batched search (batched ADC for PQ
+        configurations), falling back to a per-query probe loop for
+        indexes without batch support.  Per-query results are identical
+        to :meth:`search` up to BLAS reduction order.
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        queries = np.atleast_2d(np.asarray(queries, dtype=self.dtype))
         if queries.ndim != 2:
             raise DimensionMismatchError("search_batch expects a (Q, dim) query block")
         if queries.shape[0] and queries.shape[1] != self.dim:
@@ -240,12 +284,39 @@ class Collection:
         self.metrics.counter("vectordb.batches").inc()
         with self.metrics.timer("vectordb.scan"):
             if self._index is not None:
+                # Staleness is resolved once per batch; the per-query
+                # path below must not re-check it.
                 self._ensure_index_fresh()
-                return [
-                    self._search_indexed(q, k, filter, with_vectors, ef, rescore)
-                    for q in queries
-                ]
+                return self._search_indexed_batch(
+                    queries, k, filter, with_vectors, ef, rescore
+                )
             return self._search_exact_batch(queries, k, filter, with_vectors)
+
+    def _exact_scores(
+        self, queries: np.ndarray, rows_arr: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Exact ``(Q, n_rows)`` similarity of queries vs selected rows
+        (``rows_arr=None`` scans the whole store without copying it).
+
+        Cosine divides one bare GEMM by the cached row norms instead of
+        re-normalizing the stored matrix per call — the raw vectors are
+        never copied or rescaled.
+        """
+        matrix = self._vectors if rows_arr is None else self._vectors[rows_arr]
+        if self.metric is Metric.COSINE:
+            sims = normalize_rows(np.atleast_2d(queries)) @ matrix.T
+            norms = self._cosine_norms()
+            return sims / (norms if rows_arr is None else norms[rows_arr])
+        return pairwise_similarity(queries, matrix, self.metric)
+
+    def _filter_rows(self, filter: Filter | None) -> np.ndarray | None:
+        """Row selection for a filtered scan; None means every row."""
+        if filter is None:
+            return None
+        return np.asarray(
+            [r for r in range(len(self)) if filter.test(self._payloads[r])],
+            dtype=np.intp,
+        )
 
     def _search_exact_batch(
         self,
@@ -254,22 +325,23 @@ class Collection:
         filter: Filter | None,
         with_vectors: bool,
     ) -> list[list[ScoredPoint]]:
-        if filter is not None:
-            rows = [r for r in range(len(self)) if filter.test(self._payloads[r])]
-            if not rows:
-                return [[] for _ in range(queries.shape[0])]
-            rows_arr = np.asarray(rows, dtype=np.intp)
-            matrix = self._vectors[rows_arr]
-        else:
-            rows_arr = np.arange(len(self), dtype=np.intp)
-            matrix = self._vectors
-        self.metrics.counter("vectordb.points_scanned").inc(
-            queries.shape[0] * matrix.shape[0]
-        )
-        scores = pairwise_similarity(queries, matrix, self.metric)
+        rows_arr = self._filter_rows(filter)
+        if rows_arr is not None and rows_arr.shape[0] == 0:
+            return [[] for _ in range(queries.shape[0])]
+        n_rows = len(self) if rows_arr is None else rows_arr.shape[0]
+        self.metrics.counter("vectordb.points_scanned").inc(queries.shape[0] * n_rows)
+        scores = self._exact_scores(queries, rows_arr)
+        best = top_k_indices_rowwise(scores, k)
         return [
-            [self._scored(int(rows_arr[i]), float(row[i]), with_vectors) for i in top_k_indices(row, k)]
-            for row in scores
+            [
+                self._scored(
+                    int(i if rows_arr is None else rows_arr[i]),
+                    float(scores[q, i]),
+                    with_vectors,
+                )
+                for i in best[q]
+            ]
+            for q in range(scores.shape[0])
         ]
 
     def _search_exact(
@@ -279,19 +351,10 @@ class Collection:
         filter: Filter | None,
         with_vectors: bool,
     ) -> list[ScoredPoint]:
-        if filter is not None:
-            rows = [r for r in range(len(self)) if filter.test(self._payloads[r])]
-            if not rows:
-                return []
-            rows_arr = np.asarray(rows, dtype=np.intp)
-            matrix = self._vectors[rows_arr]
-        else:
-            rows_arr = np.arange(len(self), dtype=np.intp)
-            matrix = self._vectors
-        self.metrics.counter("vectordb.points_scanned").inc(matrix.shape[0])
-        scores = pairwise_similarity(query, matrix, self.metric)[0]
-        best = top_k_indices(scores, k)
-        return [self._scored(int(rows_arr[i]), float(scores[i]), with_vectors) for i in best]
+        # Q=1 through the batched kernel: sequential and batched exact
+        # search share one code path (GEMM rows are independent, so the
+        # scores match the batched ones bit for bit).
+        return self._search_exact_batch(query[np.newaxis, :], k, filter, with_vectors)[0]
 
     def _search_indexed(
         self,
@@ -302,20 +365,69 @@ class Collection:
         ef: int | None,
         rescore: bool = False,
     ) -> list[ScoredPoint]:
-        assert self._index is not None
         self._ensure_index_fresh()
         self.metrics.counter("vectordb.index_probes").inc()
+        fetch = self._fetch_size(k, filter, rescore)
+        hits = self._probe_index(query, fetch, ef)
+        return self._refine_hits(query, hits, k, filter, with_vectors, rescore)
+
+    def _search_indexed_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        filter: Filter | None,
+        with_vectors: bool,
+        ef: int | None,
+        rescore: bool,
+    ) -> list[list[ScoredPoint]]:
+        """Indexed batch serving; assumes freshness was already ensured.
+
+        The whole block goes to the index's ``search_batch`` (batched
+        ADC tables for PQ configurations); indexes whose batch
+        signature doesn't accept ``ef`` fall back to per-query probes.
+        """
+        assert self._index is not None
+        self.metrics.counter("vectordb.index_probes").inc(queries.shape[0])
+        fetch = self._fetch_size(k, filter, rescore)
+        try:
+            hit_lists = (
+                self._index.search_batch(queries, fetch, ef=ef)
+                if ef is not None
+                else self._index.search_batch(queries, fetch)
+            )
+        except TypeError:  # batch signature without ef support
+            hit_lists = [self._probe_index(q, fetch, ef) for q in queries]
+        return [
+            self._refine_hits(q, hits, k, filter, with_vectors, rescore)
+            for q, hits in zip(queries, hit_lists)
+        ]
+
+    def _fetch_size(self, k: int, filter: Filter | None, rescore: bool) -> int:
         fetch = k if filter is None else max(4 * k, 32)
         if rescore:
             fetch = max(fetch, int(1.5 * k))  # headroom for re-sorting
+        return fetch
+
+    def _probe_index(self, query: np.ndarray, fetch: int, ef: int | None) -> list:
+        assert self._index is not None
         kwargs = {"ef": ef} if ef is not None else {}
         try:
-            hits = self._index.search(query, fetch, **kwargs)
+            return self._index.search(query, fetch, **kwargs)
         except TypeError:  # index without ef support
-            hits = self._index.search(query, fetch)
+            return self._index.search(query, fetch)
+
+    def _refine_hits(
+        self,
+        query: np.ndarray,
+        hits: list,
+        k: int,
+        filter: Filter | None,
+        with_vectors: bool,
+        rescore: bool,
+    ) -> list[ScoredPoint]:
         if rescore and hits:
             rows = np.asarray([hit.index for hit in hits], dtype=np.intp)
-            exact = pairwise_similarity(query, self._vectors[rows], self.metric)[0]
+            exact = self._exact_scores(query[np.newaxis, :], rows)[0]
             order = np.argsort(-exact, kind="stable")
             hits = [
                 type(hits[0])(int(rows[i]), float(exact[i])) for i in order

@@ -34,12 +34,16 @@ class VectorDatabase:
     # -- collection management -------------------------------------------
 
     def create_collection(
-        self, name: str, dim: int, metric: Metric = Metric.COSINE
+        self,
+        name: str,
+        dim: int,
+        metric: Metric = Metric.COSINE,
+        dtype: "str | np.dtype | type" = np.float64,
     ) -> Collection:
         """Create a new named collection (wired to the db's metrics)."""
         if name in self._collections:
             raise CollectionExistsError(f"collection {name!r} already exists")
-        collection = Collection(name, dim, metric, metrics=self.metrics)
+        collection = Collection(name, dim, metric, metrics=self.metrics, dtype=dtype)
         self._collections[name] = collection
         return collection
 
@@ -84,6 +88,7 @@ class VectorDatabase:
             manifest[name] = {
                 "dim": collection.dim,
                 "metric": collection.metric.value,
+                "dtype": collection.dtype.name,
                 "index": collection.index_kind.value if collection.index_kind else None,
             }
             np.savez_compressed(directory / f"{name}.npz", vectors=collection.vectors)
@@ -104,7 +109,10 @@ class VectorDatabase:
         db = cls()
         for name, info in manifest.items():
             collection = db.create_collection(
-                name, dim=info["dim"], metric=Metric(info["metric"])
+                name,
+                dim=info["dim"],
+                metric=Metric(info["metric"]),
+                dtype=info.get("dtype", "float64"),
             )
             vectors = np.load(directory / f"{name}.npz")["vectors"]
             with open(directory / f"{name}.payloads.json") as fh:

@@ -60,6 +60,15 @@ class HNSWPQIndex(VectorIndex):
     def size(self) -> int:
         return self._codes.shape[0]
 
+    @property
+    def nbytes(self) -> int:
+        codebooks = self.quantizer.codebooks_
+        return (
+            int(self._codes.nbytes)
+            + (int(codebooks.nbytes) if codebooks is not None else 0)
+            + self._graph.nbytes
+        )
+
     def build(self, vectors: np.ndarray) -> "HNSWPQIndex":
         vectors = self._validate_build(vectors)
         if self.metric is Metric.COSINE:
@@ -71,22 +80,38 @@ class HNSWPQIndex(VectorIndex):
         return self
 
     def search(self, query: np.ndarray, k: int, ef: int | None = None) -> list[SearchHit]:
-        query = self._validate_query(query)
+        # Delegate through the batched path with Q=1 so sequential and
+        # batched serving share every ADC arithmetic step bit for bit.
+        return self.search_batch(self._validate_query(query)[np.newaxis, :], k, ef=ef)[0]
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, ef: int | None = None
+    ) -> list[list[SearchHit]]:
+        """Graph traversal per query, ADC rescore batched.
+
+        The HNSW descent is inherently sequential per query, but the
+        ``(Q, m, k)`` ADC lookup tables for the whole block are built
+        with one einsum up front; each query's over-fetched candidate
+        set is then re-scored by gathering from its own table slice.
+        """
+        queries = self._validate_query_block(queries)
         if self.metric is Metric.COSINE:
-            query = normalize_rows(query)
-        # Over-fetch from the graph, then re-score candidates with ADC.
-        candidates = self._graph.search(query, max(2 * k, k + 8), ef=ef)
-        ids = np.array([hit.index for hit in candidates], dtype=np.intp)
+            queries = normalize_rows(queries)
+        fetch = max(2 * k, k + 8)
         if self.metric is Metric.EUCLIDEAN:
-            table = self.quantizer.adc_l2_table(query)
-            scores = -np.sqrt(
-                np.clip(self.quantizer.adc_scores(table, self._codes[ids]), 0, None)
-            )
+            tables = self.quantizer.adc_l2_tables(queries)
         else:
-            table = self.quantizer.adc_inner_product_table(query)
-            scores = self.quantizer.adc_scores(table, self._codes[ids])
-        order = np.argsort(-scores, kind="stable")[:k]
-        return [SearchHit(int(ids[i]), float(scores[i])) for i in order]
+            tables = self.quantizer.adc_inner_product_tables(queries)
+        results: list[list[SearchHit]] = []
+        for q in range(queries.shape[0]):
+            candidates = self._graph.search(queries[q], fetch, ef=ef)
+            ids = np.array([hit.index for hit in candidates], dtype=np.intp)
+            scores = self.quantizer.adc_scores(tables[q], self._codes[ids])
+            if self.metric is Metric.EUCLIDEAN:
+                scores = -np.sqrt(np.clip(scores, 0, None))
+            order = np.argsort(-scores, kind="stable")[:k]
+            results.append([SearchHit(int(ids[i]), float(scores[i])) for i in order])
+        return results
 
 
 def make_index(kind: IndexKind | str, metric: Metric, **params) -> VectorIndex:

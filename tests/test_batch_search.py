@@ -14,11 +14,25 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import numpy as np
+
 from repro.core.engine import DiscoveryEngine
 from repro.core.results import BatchResult, same_ranking
 
 METHODS = ("exs", "anns", "cts")
-SCORE_TOL = 1e-9
+
+
+def score_tol(engine) -> float:
+    """Sequential-vs-batched score tolerance for the engine's dtype.
+
+    At float64 the batched kernels sum the very same products as the
+    sequential ones, so 1e-9 holds.  At float32 (the default) BLAS's
+    matrix-vector (sequential) and matrix-matrix (batched) kernels
+    order the reductions differently; at d≈100 the observed divergence
+    is ~1.5e-5, so we allow 1e-4 while still requiring identical
+    rankings.
+    """
+    return 1e-9 if engine.dtype == np.float64 else 1e-4
 
 QUERIES = [
     "covid vaccine europe",
@@ -55,6 +69,7 @@ query_lists = st.lists(
 
 
 def assert_batch_matches_sequential(engine, queries, method, k=10, h=0.0, workers=1):
+    tol = score_tol(engine)
     sequential = [engine.search(q, method=method, k=k, h=h) for q in queries]
     batched = engine.search_batch(queries, method=method, k=k, h=h, workers=workers)
     assert len(batched) == len(sequential)
@@ -63,8 +78,8 @@ def assert_batch_matches_sequential(engine, queries, method, k=10, h=0.0, worker
         assert bat.method == seq.method
         assert bat.relation_ids() == seq.relation_ids()
         for m_seq, m_bat in zip(seq.matches, bat.matches):
-            assert m_bat.score == pytest.approx(m_seq.score, abs=SCORE_TOL)
-        assert same_ranking(seq, bat, score_tol=SCORE_TOL)
+            assert m_bat.score == pytest.approx(m_seq.score, abs=tol)
+        assert same_ranking(seq, bat, score_tol=tol)
 
 
 @pytest.mark.parametrize("method", METHODS)

@@ -22,7 +22,14 @@ from repro.embedding.cache import CachingEncoder
 from repro.embedding.semantic import SemanticHashEncoder
 from repro.errors import ConfigurationError
 
-SCORE_TOL = 1e-9
+# Engines here use the default float32 storage dtype: ExS scores stay
+# bitwise identical across shard layouts (GEMM rows are independent),
+# but ANNS's exact rescore runs one float32 GEMM per candidate set and
+# BLAS picks different kernels for different matrix shapes, so shard-
+# local rescores drift from the unsharded ones by ~1e-9..1e-7.  At
+# float64 (dtype=numpy.float64) the old 1e-9 bound holds — pinned by
+# the fused-kernel property tests.
+SCORE_TOL = 2e-5
 
 TOPICS = [
     ["vaccine", "dose", "immunity", "booster", "trial"],
