@@ -1,0 +1,46 @@
+"""Static analysis: the repo's invariants, machine-checked.
+
+Four PRs of serving-stack work rest on conventions nothing enforced —
+until now.  This package is a small AST-based lint framework
+(:class:`Rule` / :class:`Finding` / :class:`Analyzer`, with
+``# repro-lint: disable=RLxxx -- reason`` suppression comments and a
+``python -m repro.analysis`` / ``repro-lint`` CLI) plus the rule set
+encoding the real invariants:
+
+* **RL001 lock discipline** — attributes declared with
+  :func:`~repro.core.lifecycle.guarded_by` mutate only under the
+  writer side of the RWLock; public ``search*`` entry points take the
+  reader side.
+* **RL002 metrics vocabulary** — every literal/f-string metric name
+  recorded into a :class:`~repro.obs.MetricsRegistry` matches
+  :mod:`repro.obs.vocabulary` (name *and* instrument kind).
+* **RL003 dtype discipline** — no dtype-less numpy allocations and no
+  unannotated float64 coercions inside the dtype-preserving kernel
+  packages (``repro.linalg`` / ``repro.ann`` / ``repro.vectordb`` /
+  ``repro.core.exhaustive``).
+* **RL004 concurrency hygiene** — no raw ``threading.Lock`` beside an
+  RWLock, no ``except Exception: pass``, no mutable class defaults.
+
+The runtime complement (``REPRO_SANITIZE=1``) lives in
+:mod:`repro.sanitize` and :class:`repro.core.lifecycle.InstrumentedRWLock`.
+"""
+
+from repro.analysis.framework import (
+    Analyzer,
+    FileReport,
+    Finding,
+    Report,
+    Rule,
+    SourceModule,
+)
+from repro.analysis.rules import default_rules
+
+__all__ = [
+    "Analyzer",
+    "FileReport",
+    "Finding",
+    "Report",
+    "Rule",
+    "SourceModule",
+    "default_rules",
+]

@@ -1,0 +1,76 @@
+"""Command-line entry point: ``python -m repro.analysis`` / ``repro-lint``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.framework import Analyzer, Report
+
+
+def _render_text(report: Report) -> str:
+    lines = [finding.format() for finding in report.findings]
+    lines.append(
+        f"{len(report.findings)} finding(s), {report.n_suppressed} suppressed, "
+        f"{report.n_files} file(s) scanned"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(report: Report) -> str:
+    return json.dumps(
+        {
+            "findings": [finding.to_dict() for finding in report.findings],
+            "n_findings": len(report.findings),
+            "n_suppressed": report.n_suppressed,
+            "n_files": report.n_files,
+            "ok": report.ok,
+        },
+        indent=2,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant linter for the repro codebase: lock discipline "
+            "(RL001), metrics vocabulary (RL002), dtype discipline (RL003) and "
+            "concurrency hygiene (RL004).  Suppress one finding with "
+            "'# repro-lint: disable=RLxxx -- reason', a whole file with "
+            "'# repro-lint: disable-file=RLxxx -- reason'."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule set and exit",
+    )
+    args = parser.parse_args(argv)
+
+    analyzer = Analyzer()
+    if args.list_rules:
+        for rule in analyzer.rules:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    try:
+        report = analyzer.check_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    print(_render_json(report) if args.format == "json" else _render_text(report))
+    return 0 if report.ok else 1

@@ -1,0 +1,240 @@
+"""The invariant-linter framework: rules, findings, suppressions.
+
+A :class:`Rule` inspects one parsed module (:class:`SourceModule`) and
+yields :class:`Finding` objects; the :class:`Analyzer` parses files,
+runs every rule and filters findings through ``repro-lint`` suppression
+comments:
+
+* ``# repro-lint: disable=RL001 -- reason`` silences the named rule(s)
+  on that source line — or, when the comment stands on a line of its
+  own, on the line that follows it;
+* ``# repro-lint: disable-file=RL003 -- reason`` silences the rule(s)
+  for the whole file (used when an entire module opts out of an
+  invariant by design, e.g. PQ's float64 training pipeline).
+
+Suppressions without a ``-- reason`` are honored but discouraged; the
+repo convention is that every suppression says *why* the invariant does
+not apply.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Analyzer",
+    "FileReport",
+    "Finding",
+    "Report",
+    "Rule",
+    "SourceModule",
+    "Suppressions",
+    "parse_suppressions",
+]
+
+#: ``# repro-lint: disable=RL001,RL002 -- optional reason``
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>RL\d{3}(?:\s*,\s*RL\d{3})*)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+#: Rule id used for findings about unparsable files.
+PARSE_ERROR_RULE = "RL000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class SourceModule:
+    """A parsed source file handed to every rule."""
+
+    path: str
+    text: str
+    tree: ast.Module
+
+    @property
+    def posix_path(self) -> str:
+        return self.path.replace("\\", "/")
+
+
+@dataclass
+class Suppressions:
+    """Which rules are silenced where, parsed from lint comments."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if finding.rule_id in self.file_wide:
+            return True
+        return finding.rule_id in self.by_line.get(finding.line, set())
+
+
+def parse_suppressions(text: str) -> Suppressions:
+    """Extract suppression directives from a module's comments.
+
+    Comments are found with :mod:`tokenize` (not a regex over lines) so
+    ``repro-lint:`` inside string literals never counts as a directive.
+    """
+    out = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        comments = [t for t in tokens if t.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for token in comments:
+        match = _DIRECTIVE_RE.search(token.string)
+        if match is None:
+            continue
+        rules = {r.strip() for r in match.group("rules").split(",")}
+        if match.group("scope") == "disable-file":
+            out.file_wide |= rules
+        else:
+            out.by_line.setdefault(token.start[0], set()).update(rules)
+            # A directive standing alone on its line covers the next
+            # line too, so long statements can carry a full reason.
+            if token.line.lstrip().startswith("#"):
+                out.by_line.setdefault(token.start[0] + 1, set()).update(rules)
+    return out
+
+
+class Rule(abc.ABC):
+    """One invariant, checked per module.
+
+    Subclasses set ``rule_id`` (``RLxxx``) and ``title`` and implement
+    :meth:`check`; :meth:`finding` is the convenience constructor that
+    anchors a message to an AST node.
+    """
+
+    rule_id: str = "RL999"
+    title: str = ""
+
+    @abc.abstractmethod
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``module``."""
+
+    def finding(self, module: SourceModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class FileReport:
+    """One file's outcome: surviving findings + how many were silenced."""
+
+    findings: tuple[Finding, ...]
+    n_suppressed: int
+
+
+@dataclass(frozen=True)
+class Report:
+    """A whole run: every unsuppressed finding across the scanned files."""
+
+    findings: tuple[Finding, ...]
+    n_files: int
+    n_suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+class Analyzer:
+    """Run a rule set over source text or file trees."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+        if rules is None:
+            from repro.analysis.rules import default_rules
+
+            rules = default_rules()
+        self.rules: tuple[Rule, ...] = tuple(rules)
+
+    def check_source(self, text: str, path: str) -> FileReport:
+        """Lint one module given as text (``path`` scopes path-aware
+        rules and labels findings — it need not exist on disk)."""
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError as exc:
+            finding = Finding(
+                rule_id=PARSE_ERROR_RULE,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+            return FileReport(findings=(finding,), n_suppressed=0)
+        module = SourceModule(path=path, text=text, tree=tree)
+        suppressions = parse_suppressions(text)
+        kept: list[Finding] = []
+        n_suppressed = 0
+        for rule in self.rules:
+            for finding in rule.check(module):
+                if suppressions.is_suppressed(finding):
+                    n_suppressed += 1
+                else:
+                    kept.append(finding)
+        kept.sort(key=lambda f: (f.line, f.col, f.rule_id))
+        return FileReport(findings=tuple(kept), n_suppressed=n_suppressed)
+
+    def check_paths(self, paths: Iterable[str | Path]) -> Report:
+        """Lint files and directory trees (``.py`` files, recursively)."""
+        files = sorted(self._collect(paths))
+        findings: list[Finding] = []
+        n_suppressed = 0
+        for file_path in files:
+            report = self.check_source(
+                file_path.read_text(encoding="utf-8"), str(file_path)
+            )
+            findings.extend(report.findings)
+            n_suppressed += report.n_suppressed
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return Report(
+            findings=tuple(findings), n_files=len(files), n_suppressed=n_suppressed
+        )
+
+    @staticmethod
+    def _collect(paths: Iterable[str | Path]) -> Iterator[Path]:
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                for file_path in path.rglob("*.py"):
+                    if "__pycache__" not in file_path.parts:
+                        yield file_path
+            elif path.suffix == ".py":
+                yield path
+            else:
+                raise FileNotFoundError(f"not a .py file or directory: {path}")

@@ -87,14 +87,17 @@ class VectorIndex(abc.ABC):
         product (see :class:`repro.ann.bruteforce.BruteForceIndex` and
         the batched-ADC path in :class:`repro.ann.pq.PQIndex`).
         """
+        # repro-lint: disable=RL003 -- dtype-preserving pass-through; per-query search validates
         queries = np.atleast_2d(np.asarray(queries))
         return [self.search(query, k) for query in queries]
 
     # -- shared validation helpers -------------------------------------
 
     def _validate_build(self, vectors: np.ndarray) -> np.ndarray:
+        # repro-lint: disable=RL003 -- preserves float32/float64 as-is; only non-float input promotes
         vectors = np.asarray(vectors)
         if vectors.dtype not in (np.float32, np.float64):
+            # repro-lint: disable=RL003 -- promotion target for non-float input only
             vectors = vectors.astype(np.float64)
         vectors = np.ascontiguousarray(vectors)
         if vectors.ndim != 2:

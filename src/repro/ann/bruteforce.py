@@ -20,6 +20,7 @@ class BruteForceIndex(VectorIndex):
 
     def __init__(self, metric: Metric = Metric.COSINE) -> None:
         super().__init__(metric)
+        # repro-lint: disable=RL003 -- pre-build placeholder; build() adopts the input dtype
         self._vectors = np.empty((0, 0), dtype=np.float64)
 
     @property

@@ -70,6 +70,7 @@ class HNSWIndex(VectorIndex):
         self.ef_search = ef_search
         self.seed = seed
         self._level_mult = 1.0 / math.log(m)
+        # repro-lint: disable=RL003 -- pre-build placeholder; build() adopts the input dtype
         self._vectors = np.empty((0, 0), dtype=np.float64)
         # _graph[node][layer] -> list of neighbour ids
         self._graph: list[list[list[int]]] = []

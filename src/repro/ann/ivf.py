@@ -44,7 +44,9 @@ class IVFFlatIndex(VectorIndex):
         self.n_cells = n_cells
         self.n_probe = n_probe
         self.seed = seed
+        # repro-lint: disable=RL003 -- pre-build placeholders; build() adopts the input dtype
         self._vectors = np.empty((0, 0), dtype=np.float64)
+        # repro-lint: disable=RL003 -- pre-build placeholder; build() adopts the input dtype
         self._centroids = np.empty((0, 0), dtype=np.float64)
         self._cells: list[np.ndarray] = []
 

@@ -8,6 +8,7 @@ codes with asymmetric distance computation (ADC) — one lookup table per
 subspace, one table lookup per code byte.
 """
 
+# repro-lint: disable-file=RL003 -- PQ trains, reconstructs and scores in float64 by design; codes are uint8
 from __future__ import annotations
 
 import numpy as np

@@ -272,6 +272,11 @@ class ANNSearch(SearchMethod):
     ) -> list[list[ScoredPoint]]:
         """Batched :meth:`retrieve` over a ``(Q, dim)`` query block."""
         collection = self.database.get_collection("values")
+        # Match the collection's storage dtype before the scan: the
+        # encoder emits float64, and shipping that into a float32
+        # collection is exactly the silent promotion the sanitizer
+        # rejects (found by the REPRO_SANITIZE CI shard).
+        query_block = np.ascontiguousarray(query_block, dtype=collection.dtype)
         with self.metrics.timer(f"{self.name}.scan"):
             return collection.search_batch(
                 query_block, k=budget, ef=int(1.5 * budget), rescore=True

@@ -11,6 +11,7 @@ from repro.core.results import BatchResult, RelationMatch, SearchResult
 from repro.core.semimg import FederationEmbeddings, RelationEmbedding
 from repro.errors import NotFittedError
 from repro.obs import MetricsRegistry
+from repro.sanitize import sanitize_enabled
 
 __all__ = ["SearchMethod", "even_chunks"]
 
@@ -55,6 +56,12 @@ class SearchMethod(abc.ABC):
     def __init__(self) -> None:
         self._embeddings: FederationEmbeddings | None = None
         self.metrics = MetricsRegistry()
+        #: When true, kernel boundaries guard operands for NaN/Inf and
+        #: dtype mismatches (see :mod:`repro.sanitize`).  Defaults to
+        #: the ``REPRO_SANITIZE`` environment switch; a
+        #: :class:`~repro.core.engine.DiscoveryEngine` overrides it
+        #: with its own ``sanitize`` setting.
+        self.sanitize = sanitize_enabled()
 
     @property
     def embeddings(self) -> FederationEmbeddings:

@@ -28,7 +28,13 @@ from repro.core.anns import ANNSearch
 from repro.core.base import SearchMethod
 from repro.core.cts import ClusteredTargetedSearch
 from repro.core.exhaustive import ExhaustiveSearch
-from repro.core.lifecycle import FederationDelta, RWLock
+from repro.core.lifecycle import (
+    FederationDelta,
+    InstrumentedRWLock,
+    RWLock,
+    guarded_by,
+    requires_lock,
+)
 from repro.core.results import BatchResult, SearchResult
 from repro.core.sharding import ShardMap, ShardedStore, make_sharded_method
 from repro.core.semimg import (
@@ -45,6 +51,7 @@ from repro.embedding.cache import CachingEncoder
 from repro.embedding.semantic import SemanticHashEncoder
 from repro.errors import ConfigurationError, NotFittedError
 from repro.obs import MetricsRegistry
+from repro.sanitize import sanitize_enabled
 
 __all__ = ["DiscoveryEngine"]
 
@@ -52,6 +59,7 @@ __all__ = ["DiscoveryEngine"]
 RelationsLike = Mapping[str, Relation] | Iterable[tuple[str, Relation]]
 
 
+@guarded_by("_lifecycle_lock", "_embeddings", "_sharded", "_methods")
 class DiscoveryEngine:
     """Index a federation once, search it with any method.
 
@@ -87,6 +95,15 @@ class DiscoveryEngine:
     shard_seed:
         Seed of the rendezvous hash — must be stable across sessions
         that share a persisted index.
+    sanitize:
+        Arm the runtime sanitizers: the lifecycle lock becomes an
+        :class:`~repro.core.lifecycle.InstrumentedRWLock` (raises on
+        write-while-reading reentrancy, double-release and
+        reader-starvation instead of deadlocking) and the fused scan
+        kernels guard their operands against NaN/Inf and silent dtype
+        promotion.  ``None`` (the default) defers to the
+        ``REPRO_SANITIZE`` environment variable, which is how the CI
+        sanitizer shard runs the ordinary test suite instrumented.
 
     Example
     -------
@@ -105,6 +122,7 @@ class DiscoveryEngine:
         shards: int = 1,
         shard_seed: int = 0,
         dtype: "str | np.dtype | type" = np.float32,
+        sanitize: bool | None = None,
     ) -> None:
         if encoder is None:
             encoder = CachingEncoder(SemanticHashEncoder(dim=dim))
@@ -120,6 +138,7 @@ class DiscoveryEngine:
             raise ConfigurationError("shards must be >= 1")
         self.shards = shards
         self.shard_seed = shard_seed
+        self.sanitize = sanitize_enabled() if sanitize is None else bool(sanitize)
         self._embeddings: FederationEmbeddings | None = None
         self._sharded: ShardedStore | None = None
         self._methods: dict[str, SearchMethod] = {}
@@ -127,18 +146,29 @@ class DiscoveryEngine:
         #: collections record counters and per-stage latencies here.
         self.metrics = MetricsRegistry()
         # Readers (searches) overlap; a writer (delta) is exclusive.
-        self._lifecycle_lock = RWLock()
+        self._lifecycle_lock = InstrumentedRWLock() if self.sanitize else RWLock()
         # Serializes lazy method construction between reader threads.
-        self._build_lock = threading.Lock()
+        # The two locks guard disjoint state and never nest the other
+        # way around, so no ordering deadlock is possible.
+        self._build_lock = threading.Lock()  # repro-lint: disable=RL004 -- build serialization only; never taken around _lifecycle_lock
 
     # -- indexing -----------------------------------------------------------
 
     def index(self, federation: Federation) -> "DiscoveryEngine":
-        """Vectorize the federation (methods build lazily on first use)."""
-        self._embeddings = build_federation_embeddings(federation, self.encoder)
-        self._methods.clear()
-        self._sharded = self._partition(self._embeddings)
-        self.metrics.gauge("engine.generation").set(self._embeddings.generation)
+        """Vectorize the federation (methods build lazily on first use).
+
+        Embedding runs outside the lifecycle lock; swapping the store
+        and dropping the built methods happens under the writer side,
+        so a re-``index()`` while queries are in flight can never leave
+        a reader holding a half-replaced engine.  (Found by RL001: this
+        path historically mutated guarded state with no lock at all.)
+        """
+        embeddings = build_federation_embeddings(federation, self.encoder)
+        with self._lifecycle_lock.write():
+            self._embeddings = embeddings
+            self._methods.clear()
+            self._sharded = self._partition(embeddings)
+            self.metrics.gauge("engine.generation").set(embeddings.generation)
         return self
 
     def _partition(self, store: FederationEmbeddings) -> ShardedStore | None:
@@ -185,10 +215,12 @@ class DiscoveryEngine:
                 f"produces {self.encoder.dim}-dim vectors; configure the engine "
                 "with the encoder settings that built the snapshot"
             )
-        self._embeddings = loaded
-        self._methods.clear()
-        self._sharded = self._partition(loaded)
-        self.metrics.gauge("engine.generation").set(self._embeddings.generation)
+        # Same writer-side swap as index(): loading is a store mutation.
+        with self._lifecycle_lock.write():
+            self._embeddings = loaded
+            self._methods.clear()
+            self._sharded = self._partition(loaded)
+            self.metrics.gauge("engine.generation").set(loaded.generation)
         return self
 
     def _make_method(self, name: str) -> SearchMethod:
@@ -203,6 +235,11 @@ class DiscoveryEngine:
             f"unknown method {name!r}; expected one of {self.METHODS}"
         )
 
+    def _configure_method(self, method: SearchMethod) -> SearchMethod:
+        """Inject the engine-level cross-cutting knobs into a method."""
+        method.sanitize = self.sanitize
+        return method
+
     def method(self, name: str) -> SearchMethod:
         """Get (building if needed) a search method's index."""
         if name not in self._methods:
@@ -210,22 +247,29 @@ class DiscoveryEngine:
                 if name not in self._methods:
                     if self._sharded is not None:
                         method: SearchMethod = make_sharded_method(
-                            lambda: self._make_method(name), self._sharded
+                            lambda: self._configure_method(self._make_method(name)),
+                            self._sharded,
                         )
                     else:
                         method = self._make_method(name)
+                    self._configure_method(method)
                     # Share the engine's registry BEFORE index() so
                     # index-time structures (vector-db collections)
                     # report into it too.
                     method.metrics = self.metrics
                     method.index(self.embeddings)
-                    self._methods[name] = method
+                    # Lazy build happens under the READER lock by design:
+                    # _build_lock serializes builders, dict publication is
+                    # atomic, and concurrent readers either see the built
+                    # method or build it themselves.
+                    self._methods[name] = method  # repro-lint: disable=RL001 -- lazy publication serialized by _build_lock; readers tolerate either state
                     self._publish_index_bytes()
         return self._methods[name]
 
     def _publish_index_bytes(self) -> None:
         """Total resident vector/code bytes across built method indexes."""
-        total = sum(method.index_bytes() for method in self._methods.values())
+        # Snapshot: another reader may lazily publish a method mid-sum.
+        total = sum(method.index_bytes() for method in list(self._methods.values()))
         self.metrics.gauge("engine.index_bytes").set(float(total))
 
     def build_all(self) -> "DiscoveryEngine":
@@ -305,6 +349,7 @@ class DiscoveryEngine:
                 store.remove_relation(relation_id)
             return self._propagate(removed=ids)
 
+    @requires_lock("write")
     def _propagate(
         self,
         added: Sequence[RelationEmbedding] = (),

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.base import SearchMethod, even_chunks
 from repro.core.results import RelationMatch
 from repro.core.semimg import RelationEmbedding
+from repro.sanitize import guard_operands
 
 __all__ = ["ExhaustiveSearch"]
 
@@ -99,6 +100,7 @@ class ExhaustiveSearch(SearchMethod):
         self._offsets: np.ndarray = np.empty(0, dtype=np.intp)
         #: Per-row weight = count / block count-sum, so a segment sum of
         #: ``weight * sim`` IS the multiplicity-weighted block mean.
+        # repro-lint: disable=RL003 -- deliberate float64 accumulator: weights stay exact regardless of storage dtype
         self._row_weights: np.ndarray = np.empty(0, dtype=np.float64)
 
     def index_bytes(self) -> int:
@@ -131,11 +133,13 @@ class ExhaustiveSearch(SearchMethod):
         self._offsets = np.concatenate(
             [np.zeros(1, dtype=np.intp), np.cumsum(sizes)[:-1]]
         )
+        # repro-lint: disable=RL003 -- deliberate float64 accumulator (exact normalization, see docstring)
         counts = self._counts.astype(np.float64)
         if counts.size:
             totals = np.add.reduceat(counts, self._offsets)
             self._row_weights = counts / np.repeat(totals, sizes)
         else:
+            # repro-lint: disable=RL003 -- deliberate float64 accumulator (empty weight vector)
             self._row_weights = np.empty(0, dtype=np.float64)
 
     def _apply_delta(
@@ -212,6 +216,7 @@ class ExhaustiveSearch(SearchMethod):
                 # similarity score s between q' and w".
                 sims = np.fromiter(
                     (float(np.dot(block[i], q)) for i in range(block.shape[0])),
+                    # repro-lint: disable=RL003 -- per-attribute loop accumulates in float64 by design
                     dtype=np.float64,
                     count=block.shape[0],
                 )
@@ -246,6 +251,7 @@ class ExhaustiveSearch(SearchMethod):
         if self.aggregate == "mean":
             return np.add.reduceat(sims * weights[:, np.newaxis], offsets, axis=0)
         bounds = np.append(offsets, sims.shape[0])
+        # repro-lint: disable=RL003 -- deliberate float64 accumulator for segment means
         scores = np.empty((len(offsets), sims.shape[1]), dtype=np.float64)
         for i in range(len(offsets)):
             seg = sims[bounds[i] : bounds[i + 1]]
@@ -298,6 +304,13 @@ class ExhaustiveSearch(SearchMethod):
         offsets = self._offsets[block_range.start : block_range.stop] - row_start
         with self.metrics.timer(f"{self.name}.scan"):
             rows = self._matrix[row_start:row_stop]
+            if self.sanitize:
+                guard_operands(
+                    rows,
+                    query_block,
+                    where=f"{self.name}._scan_fused",
+                    expect_dtype=self.dtype,
+                )
             sims = rows @ query_block.T  # (rows, Q), one GEMM
             self.metrics.counter(f"{self.name}.fused_rows").inc(
                 rows.shape[0] * query_block.shape[0]

@@ -13,13 +13,67 @@ uses for its LRU bookkeeping, lifted to the index level.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator, TypeVar
 
 from repro.core.semimg import RelationEmbedding
+from repro.errors import SanitizerError
 
-__all__ = ["FederationDelta", "RWLock"]
+__all__ = [
+    "FederationDelta",
+    "InstrumentedRWLock",
+    "RWLock",
+    "guarded_by",
+    "requires_lock",
+]
+
+_T = TypeVar("_T", bound=type)
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def guarded_by(lock_attr: str, *attrs: str) -> Callable[[_T], _T]:
+    """Class decorator declaring attributes guarded by an RWLock.
+
+    ``@guarded_by("_lifecycle_lock", "_store", "_index")`` records that
+    ``self._store`` and ``self._index`` may only be mutated while the
+    writer side of ``self._lifecycle_lock`` is held.  The declaration is
+    free at runtime — it only stores the mapping on the class — and is
+    the anchor the RL001 lock-discipline lint rule checks statically:
+    mutations of a declared attribute outside a ``with
+    self.<lock>.write():`` block (or a ``@requires_lock("write")``
+    method) are flagged, as are public ``search*`` entry points that
+    never take the reader lock.
+    """
+
+    def decorate(cls: _T) -> _T:
+        declared = dict(getattr(cls, "__guarded_attrs__", {}))
+        for attr in attrs:
+            declared[attr] = lock_attr
+        cls.__guarded_attrs__ = declared  # type: ignore[attr-defined]
+        return cls
+
+    return decorate
+
+
+def requires_lock(mode: str) -> Callable[[_F], _F]:
+    """Method decorator: the caller must already hold the lock.
+
+    ``mode`` is ``"read"`` or ``"write"``.  Like :func:`guarded_by`
+    this is a zero-cost declaration consumed by the RL001 lint rule: a
+    ``@requires_lock("write")`` method is treated as statically holding
+    the writer lock, so its guarded-attribute mutations pass, and the
+    obligation moves to its callers.
+    """
+    if mode not in ("read", "write"):
+        raise ValueError("requires_lock mode must be 'read' or 'write'")
+
+    def decorate(func: _F) -> _F:
+        func.__requires_lock__ = mode  # type: ignore[attr-defined]
+        return func
+
+    return decorate
 
 
 @dataclass(frozen=True)
@@ -91,3 +145,115 @@ class RWLock:
             with self._cond:
                 self._writing = False
                 self._cond.notify_all()
+
+
+class _ThreadHolds(threading.local):
+    """Per-thread lock-hold bookkeeping for the instrumented lock."""
+
+    def __init__(self) -> None:
+        self.read = 0
+        self.write = False
+
+
+class InstrumentedRWLock(RWLock):
+    """An :class:`RWLock` that *raises* where the plain one deadlocks.
+
+    Sanitizer mode (``REPRO_SANITIZE=1`` / ``DiscoveryEngine(
+    sanitize=True)``) swaps this in for the plain lock.  It tracks
+    which locks each thread holds and turns the three silent failure
+    modes of a non-reentrant writer-preference lock into immediate
+    :class:`~repro.errors.SanitizerError`\\ s:
+
+    * **write-while-reading reentrancy** — a thread that holds the
+      reader lock requests the writer lock (or vice versa, or nests
+      either side): the plain lock would wait on itself forever;
+    * **double-release** — releasing a side this thread does not hold,
+      which would corrupt the reader count / writer flag;
+    * **reader starvation** — a writer waiting longer than
+      ``writer_timeout`` seconds for readers to drain (a stuck or
+      leaked reader under sustained load).
+    """
+
+    def __init__(self, writer_timeout: float = 30.0) -> None:
+        super().__init__()
+        if writer_timeout <= 0:
+            raise ValueError("writer_timeout must be > 0")
+        self.writer_timeout = writer_timeout
+        self._holds = _ThreadHolds()
+
+    # -- explicit acquire/release (the contextmanagers delegate here) ----
+
+    def acquire_read(self) -> None:
+        if self._holds.write:
+            raise SanitizerError(
+                "read() requested while this thread holds the writer lock "
+                "(reentrancy would deadlock)"
+            )
+        if self._holds.read:
+            raise SanitizerError(
+                "nested read() on one thread (deadlocks as soon as a writer queues "
+                "between the two acquires — the lock is writer-preference)"
+            )
+        with self._cond:
+            while self._writing or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        self._holds.read += 1
+
+    def release_read(self) -> None:
+        if not self._holds.read:
+            raise SanitizerError("release of a reader lock this thread does not hold")
+        self._holds.read -= 1
+        with self._cond:
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        if self._holds.read:
+            raise SanitizerError(
+                "write() requested while this thread holds the reader lock "
+                "(write-while-reading reentrancy would deadlock)"
+            )
+        if self._holds.write:
+            raise SanitizerError("nested write() on one thread (would deadlock)")
+        deadline = time.monotonic() + self.writer_timeout
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise SanitizerError(
+                            f"writer starved for {self.writer_timeout:g}s waiting on "
+                            f"{self._readers} reader(s) — a reader is stuck or leaked"
+                        )
+                    self._cond.wait(remaining)
+            finally:
+                self._writers_waiting -= 1
+            self._writing = True
+        self._holds.write = True
+
+    def release_write(self) -> None:
+        if not self._holds.write:
+            raise SanitizerError("release of a writer lock this thread does not hold")
+        self._holds.write = False
+        with self._cond:
+            self._writing = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -26,7 +26,7 @@ import math
 import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import curve_fit
-from scipy.sparse.linalg import eigsh
+from scipy.sparse.linalg import ArpackError, eigsh
 
 from repro.dimred.knn_graph import KNNGraph, build_knn_graph
 from repro.errors import ConfigurationError, NotFittedError
@@ -172,7 +172,11 @@ class UMAP:
             v0 = rng.standard_normal(n)
             _, vectors = eigsh(laplacian, k=k + 1, sigma=0.0, which="LM", v0=v0)
             init = vectors[:, 1 : k + 1]
-        except Exception:  # Lanczos can fail on disconnected graphs
+        except (ArpackError, RuntimeError):
+            # Lanczos non-convergence (ArpackError) or a singular
+            # shift-invert factorization (RuntimeError from splu) on
+            # disconnected graphs; anything else — a shape bug, a bad
+            # dtype — should surface, not silently fall back.
             return rng.standard_normal((n, k)) * 1e-2
         scale = np.abs(init).max()
         if scale > 0:

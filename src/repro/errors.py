@@ -44,6 +44,12 @@ class EmptyIndexError(ReproError):
     """A search was issued against an index that contains no vectors."""
 
 
+class SanitizerError(ReproError):
+    """A runtime sanitizer (``REPRO_SANITIZE=1``) detected an invariant
+    violation: lock misuse that would deadlock or tear state, or
+    non-finite / wrongly-typed operands at a fused-kernel boundary."""
+
+
 class DataGenerationError(ReproError):
     """Synthetic corpus or query generation failed."""
 

@@ -50,8 +50,10 @@ class Metric(str, enum.Enum):
 
 def _as_float(array: np.ndarray) -> np.ndarray:
     """The array as float32/float64 (anything else promotes to float64)."""
+    # repro-lint: disable=RL003 -- preserves float32/float64 as-is; only non-float input promotes
     out = np.asarray(array)
     if out.dtype not in (np.float32, np.float64):
+        # repro-lint: disable=RL003 -- promotion target for non-float input only
         out = out.astype(np.float64)
     return out
 

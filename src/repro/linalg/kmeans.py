@@ -5,6 +5,7 @@ clustering utility.  Written against plain numpy (sklearn is not
 available in this environment).
 """
 
+# repro-lint: disable-file=RL003 -- centroid updates accumulate in float64 by design
 from __future__ import annotations
 
 import numpy as np

@@ -14,6 +14,7 @@ def top_k_indices(scores: np.ndarray, k: int, largest: bool = True) -> np.ndarra
     sort.  ``k`` larger than the array is clamped.  Ties are broken by
     index order (stable), which keeps rankings deterministic.
     """
+    # repro-lint: disable=RL003 -- dtype-preserving selection; comparisons work in the caller's dtype
     scores = np.asarray(scores)
     if scores.ndim != 1:
         raise ValueError(f"expected 1-D scores, got ndim={scores.ndim}")
@@ -40,6 +41,7 @@ def top_k_indices_rowwise(scores: np.ndarray, k: int, largest: bool = True) -> n
     row ``i`` equals ``top_k_indices(scores[i], k, largest)`` — same
     selection, same stable index-order tie-breaking.
     """
+    # repro-lint: disable=RL003 -- dtype-preserving selection; comparisons work in the caller's dtype
     scores = np.asarray(scores)
     if scores.ndim != 2:
         raise ValueError(f"expected 2-D scores, got ndim={scores.ndim}")

@@ -45,7 +45,11 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        # Read under the same lock inc() holds: CPython makes a bare
+        # int read atomic, but the lock is what guarantees a reader
+        # observes every increment a finished inc() call made.
+        with self._lock:
+            return self._value
 
     def reset(self) -> None:
         with self._lock:
@@ -77,7 +81,9 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        # Same single-lock read discipline as Counter.value.
+        with self._lock:
+            return self._value
 
     def reset(self) -> None:
         with self._lock:
@@ -108,7 +114,8 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        with self._lock:
+            return len(self._values)
 
     @property
     def total(self) -> float:

@@ -1,0 +1,147 @@
+"""The declared metric-name vocabulary of the serving stack.
+
+Every counter, gauge and stage timer the engine, the search methods and
+the vector database record lives in one of three families —
+``engine.*``, ``<method>.<stage>`` and ``vectordb.*`` — and this module
+is the single place those names are declared.  Two consumers keep the
+vocabulary honest:
+
+* the RL002 lint rule (:mod:`repro.analysis`) checks every literal or
+  f-string metric name passed to a :class:`~repro.obs.MetricsRegistry`
+  call site against these specs, so a typo like ``exs.shardN.sacn``
+  fails CI instead of silently forking a new time series;
+* :func:`markdown_table` renders the README's metrics table, so the
+  docs cannot drift from the code (a test regenerates and compares).
+
+Spec names may contain ``{placeholders}``: ``{method}`` matches a
+method name with an optional per-shard suffix (``exs``, ``cts``,
+``exs.shard3``), ``{shard}`` a shard number and ``{collection}`` a
+vector-database collection name.  F-string call sites are matched by
+treating each interpolation as a wildcard that any placeholder accepts.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+
+__all__ = ["MetricSpec", "VOCABULARY", "WILDCARD", "markdown_table", "matches"]
+
+#: Sentinel the lint rule substitutes for f-string interpolations; any
+#: declared placeholder accepts it, no literal segment does.
+WILDCARD = "\x00"
+
+#: What each ``{placeholder}`` may expand to at runtime.
+_PLACEHOLDER_PATTERNS = {
+    "method": r"[a-z0-9_]+(?:\.shard[0-9]+)?",
+    "shard": r"[0-9]+",
+    "collection": r"[A-Za-z0-9_.-]+",
+}
+
+_PLACEHOLDER_RE = re.compile(r"\{([a-z]+)\}")
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One declared metric: name template, instrument kind, meaning."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"unknown metric kind {self.kind!r}")
+
+
+VOCABULARY: tuple[MetricSpec, ...] = (
+    # -- engine.* ---------------------------------------------------------
+    MetricSpec("engine.queries", "counter", "Queries served through the engine."),
+    MetricSpec("engine.batches", "counter", "`search_batch` calls served."),
+    MetricSpec("engine.deltas", "counter", "Lifecycle deltas applied atomically."),
+    MetricSpec("engine.relations_added", "counter", "Relations added across all deltas."),
+    MetricSpec("engine.relations_updated", "counter", "Relations re-embedded across all deltas."),
+    MetricSpec("engine.relations_removed", "counter", "Relations retired across all deltas."),
+    MetricSpec("engine.generation", "gauge", "Store generation the engine last published."),
+    MetricSpec("engine.index_bytes", "gauge", "Resident vector/code bytes across built method indexes."),
+    MetricSpec("engine.shard_sizes.{shard}", "gauge", "Relations placed on each shard (placement skew)."),
+    # -- <method>.<stage> -------------------------------------------------
+    MetricSpec("{method}.encode", "histogram", "Query-encoding stage latency (ms)."),
+    MetricSpec("{method}.scan", "histogram", "Similarity-scan stage latency (ms)."),
+    MetricSpec("{method}.route", "histogram", "Cluster/medoid routing stage latency (ms, CTS)."),
+    MetricSpec("{method}.rank", "histogram", "Threshold + sort + top-k stage latency (ms)."),
+    MetricSpec("{method}.merge", "histogram", "Scatter-gather merge stage latency (ms, sharded)."),
+    MetricSpec("{method}.latency_ms", "histogram", "End-to-end per-query latency (ms)."),
+    MetricSpec("{method}.batch_ms", "histogram", "End-to-end whole-batch latency (ms)."),
+    MetricSpec("{method}.delta_ms", "histogram", "Per-delta index maintenance latency (ms)."),
+    MetricSpec("{method}.queries", "counter", "Queries answered by the method."),
+    MetricSpec("{method}.batches", "counter", "Query batches answered by the method."),
+    MetricSpec("{method}.deltas", "counter", "Store deltas absorbed by the method's index."),
+    MetricSpec("{method}.generation", "gauge", "Store generation the method's index has applied."),
+    MetricSpec("{method}.fused_rows", "counter", "Rows x queries pushed through the fused ExS kernel."),
+    MetricSpec("{method}.drift", "gauge", "Clustering staleness absorbed since the last rebuild (CTS)."),
+    MetricSpec("{method}.rebuilds", "counter", "Drift-triggered full re-clusterings (CTS)."),
+    # -- vectordb.* -------------------------------------------------------
+    MetricSpec("vectordb.searches", "counter", "Collection searches (one per query, batched or not)."),
+    MetricSpec("vectordb.batches", "counter", "Batched collection searches."),
+    MetricSpec("vectordb.points_scanned", "counter", "Points scored by exact scans."),
+    MetricSpec("vectordb.index_probes", "counter", "ANN index probes."),
+    MetricSpec("vectordb.scan", "histogram", "Collection scan latency (ms)."),
+    MetricSpec("vectordb.{collection}.bytes", "gauge", "Resident bytes of one collection (vectors + norms + index)."),
+)
+
+#: Registry methods mapped to the instrument kind they create.
+_CALL_KINDS = {
+    "counter": "counter",
+    "gauge": "gauge",
+    "histogram": "histogram",
+    "timer": "histogram",
+}
+
+
+@lru_cache(maxsize=None)
+def _spec_regex(name: str) -> "re.Pattern[str]":
+    """Compile a spec name template into a full-match regex.
+
+    Literal segments are escaped; each ``{placeholder}`` becomes its
+    declared value pattern, alternated with the f-string WILDCARD.
+    """
+    parts: list[str] = []
+    pos = 0
+    for match in _PLACEHOLDER_RE.finditer(name):
+        parts.append(re.escape(name[pos : match.start()]))
+        value_pattern = _PLACEHOLDER_PATTERNS.get(match.group(1))
+        if value_pattern is None:
+            raise ValueError(f"unknown placeholder {match.group(0)!r} in spec {name!r}")
+        parts.append(f"(?:{value_pattern}|{re.escape(WILDCARD)})")
+        pos = match.end()
+    parts.append(re.escape(name[pos:]))
+    return re.compile("".join(parts) + r"\Z")
+
+
+def matches(template: str, call_kind: str | None = None) -> bool:
+    """Whether a call-site name template is in the declared vocabulary.
+
+    ``template`` is a literal metric name, or an f-string with each
+    interpolation replaced by :data:`WILDCARD`.  When ``call_kind`` is
+    given (the registry method used: ``counter`` / ``gauge`` /
+    ``histogram`` / ``timer``), the spec's instrument kind must agree
+    too — recording a gauge name through ``counter()`` is drift even
+    though the name exists.
+    """
+    expected = _CALL_KINDS.get(call_kind) if call_kind is not None else None
+    for spec in VOCABULARY:
+        if _spec_regex(spec.name).match(template):
+            if expected is None or spec.kind == expected:
+                return True
+    return False
+
+
+def markdown_table() -> str:
+    """The vocabulary as a GitHub-markdown table (the README source)."""
+    lines = ["| Metric | Kind | Meaning |", "|---|---|---|"]
+    for spec in VOCABULARY:
+        shown = _PLACEHOLDER_RE.sub(lambda m: f"<{m.group(1)}>", spec.name)
+        lines.append(f"| `{shown}` | {spec.kind} | {spec.description} |")
+    return "\n".join(lines)

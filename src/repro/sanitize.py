@@ -1,0 +1,62 @@
+"""Runtime numeric sanitizers for the fused-kernel boundaries.
+
+``REPRO_SANITIZE=1`` (or ``DiscoveryEngine(sanitize=True)``) arms two
+runtime checks that complement the static invariants enforced by
+:mod:`repro.analysis`:
+
+* **operand guards** — before a fused kernel runs (the ExS
+  federation-wide GEMM, the vector database's batched scan), its array
+  operands are checked for NaN/Inf values and for silent dtype
+  promotion away from the configured storage dtype;
+* **instrumented locking** — the engine swaps its
+  :class:`~repro.core.lifecycle.RWLock` for an
+  :class:`~repro.core.lifecycle.InstrumentedRWLock` that tracks
+  per-thread held state and raises on reentrancy, double-release and
+  reader-starvation instead of deadlocking.
+
+This module is dependency-free (numpy + stdlib only) so the vector
+database and the core kernels can both import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SanitizerError
+
+__all__ = ["guard_operands", "sanitize_enabled"]
+
+#: Environment switch; any value other than ""/"0"/"false"/"no" arms it.
+ENV_VAR = "REPRO_SANITIZE"
+
+
+def sanitize_enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` requests sanitizer mode."""
+    return os.environ.get(ENV_VAR, "").strip().lower() not in ("", "0", "false", "no")
+
+
+def guard_operands(
+    *arrays: "np.ndarray[Any, Any]",
+    where: str,
+    expect_dtype: "np.dtype[Any] | None" = None,
+) -> None:
+    """Raise :class:`SanitizerError` on bad kernel operands.
+
+    ``expect_dtype`` catches silent promotion (a float64 block reaching
+    a float32 kernel doubles bandwidth and breaks score-identity
+    contracts); the finiteness check catches NaN/Inf poisoning before
+    it propagates through a GEMM into every downstream score.
+    """
+    for position, array in enumerate(arrays):
+        if expect_dtype is not None and array.dtype != np.dtype(expect_dtype):
+            raise SanitizerError(
+                f"{where}: operand {position} has dtype {array.dtype}, expected "
+                f"{np.dtype(expect_dtype)} (silent dtype promotion at a kernel boundary)"
+            )
+        if array.dtype.kind == "f" and not bool(np.isfinite(array).all()):
+            raise SanitizerError(
+                f"{where}: operand {position} contains NaN/Inf values"
+            )

@@ -22,6 +22,7 @@ from repro.errors import (
 from repro.linalg.distances import Metric, normalize_rows, pairwise_similarity, row_norms
 from repro.linalg.topk import top_k_indices, top_k_indices_rowwise
 from repro.obs import MetricsRegistry
+from repro.sanitize import guard_operands, sanitize_enabled
 from repro.vectordb.filters import Filter
 from repro.vectordb.index import IndexKind, make_index
 
@@ -98,6 +99,8 @@ class Collection:
         # per-query O(n·d) normalization pass over the store).
         self._norms = np.empty(0, dtype=self.dtype)
         self._norms_stale = False
+        #: REPRO_SANITIZE=1 arms operand guards at the batch boundary.
+        self.sanitize = sanitize_enabled()
 
     # -- mutation --------------------------------------------------------
 
@@ -270,6 +273,17 @@ class Collection:
         indexes without batch support.  Per-query results are identical
         to :meth:`search` up to BLAS reduction order.
         """
+        if self.sanitize:
+            # repro-lint: disable=RL003 -- inspects the caller's dtype; casting here would hide the mismatch
+            raw = np.asarray(queries)
+            # Float query blocks must already be in the collection's
+            # storage dtype — a silent upcast/downcast at this boundary
+            # is exactly the bug class the sanitizer exists to catch.
+            guard_operands(
+                raw,
+                where=f"vectordb.{self.name}.search_batch",
+                expect_dtype=self.dtype if raw.dtype.kind == "f" else None,
+            )
         queries = np.atleast_2d(np.asarray(queries, dtype=self.dtype))
         if queries.ndim != 2:
             raise DimensionMismatchError("search_batch expects a (Q, dim) query block")

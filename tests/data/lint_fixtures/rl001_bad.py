@@ -1,0 +1,28 @@
+"""Known-bad fixture for RL001: guarded state mutated without the lock.
+
+Line numbers are asserted exactly in tests/test_analysis.py — keep the
+layout stable when editing.
+"""
+
+from repro.core.lifecycle import RWLock, guarded_by
+
+
+@guarded_by("_lifecycle_lock", "_store", "_methods")
+class BadEngine:
+    def __init__(self):
+        self._lifecycle_lock = RWLock()
+        self._store = {}
+        self._methods = {}
+
+    def add(self, key, value):
+        self._store[key] = value  # line 18: subscript store, no writer lock
+
+    def reset(self):
+        self._methods.clear()  # line 21: mutator call, no writer lock
+
+    def search(self, key):  # line 23: public search, never takes the lock
+        return self._store.get(key)
+
+    def fine(self, key, value):
+        with self._lifecycle_lock.write():
+            self._store[key] = value  # held: not flagged

@@ -1,0 +1,15 @@
+"""Known-bad fixture for RL002: metric names outside the vocabulary.
+
+Line numbers are asserted exactly in tests/test_analysis.py.
+"""
+
+
+class BadRecorder:
+    name = "exs"
+
+    def record(self):
+        self.metrics.counter("engine.nope").inc()  # line 11: unknown name
+        self.metrics.histogram(f"{self.name}.sacn").observe(1.0)  # line 12: typo
+        self.metrics.counter("engine.generation").inc()  # line 13: gauge via counter
+        self.metrics.counter("engine.queries").inc()  # declared: not flagged
+        self.metrics.histogram(f"{self.name}.scan").observe(1.0)  # declared: not flagged

@@ -1,0 +1,15 @@
+"""Known-bad fixture for RL003 (checked under a virtual repro/linalg path).
+
+Line numbers are asserted exactly in tests/test_analysis.py.
+"""
+
+import numpy as np
+
+
+def sloppy(values):
+    out = np.zeros(len(values))  # line 10: dtype-less allocation
+    sims = np.asarray(values)  # line 11: dtype-less asarray
+    promoted = sims.astype(np.float64)  # line 12: literal float64 coercion
+    scratch = np.empty(3, dtype=np.float64)  # line 13: literal float64 dtype
+    keep = np.asarray(values, dtype=out.dtype)  # explicit: not flagged
+    return out, promoted, scratch, keep

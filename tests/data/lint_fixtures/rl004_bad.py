@@ -1,0 +1,22 @@
+"""Known-bad fixture for RL004: concurrency/error-handling hygiene.
+
+Line numbers are asserted exactly in tests/test_analysis.py.
+"""
+
+import threading
+
+from repro.core.lifecycle import RWLock
+
+
+class BadShared:
+    cache = {}  # line 12: mutable class-level default
+
+    def __init__(self):
+        self._lifecycle_lock = RWLock()
+        self._aux = threading.Lock()  # line 16: raw lock beside the RWLock
+
+    def run(self, work):
+        try:
+            work()
+        except Exception:  # line 21: swallowed
+            pass

@@ -1,0 +1,197 @@
+"""repro.analysis: framework, the four rules, the CLI and the clean-tree gate.
+
+Each rule has a known-bad fixture under ``tests/data/lint_fixtures/``
+whose exact rule ids and line numbers are asserted here; the clean-tree
+tests are the same gate CI runs (`python -m repro.analysis src/`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.analysis.cli import main as lint_main
+from repro.analysis.framework import parse_suppressions
+from repro.obs import vocabulary
+
+HERE = Path(__file__).resolve().parent
+REPO_ROOT = HERE.parent
+FIXTURES = HERE / "data" / "lint_fixtures"
+SRC = REPO_ROOT / "src"
+
+
+def check_fixture(name: str, virtual_path: str | None = None):
+    """Lint one fixture, optionally under a virtual (path-scoped) name."""
+    text = (FIXTURES / name).read_text(encoding="utf-8")
+    path = virtual_path or f"tests/data/lint_fixtures/{name}"
+    return Analyzer().check_source(text, path)
+
+
+class TestRuleFixtures:
+    def test_rl001_lock_discipline(self):
+        report = check_fixture("rl001_bad.py")
+        got = [(f.rule_id, f.line) for f in report.findings]
+        assert got == [("RL001", 18), ("RL001", 21), ("RL001", 23)]
+        assert "_store" in report.findings[0].message
+        assert "_methods.clear()" in report.findings[1].message
+        assert "search" in report.findings[2].message
+
+    def test_rl002_metrics_vocabulary(self):
+        report = check_fixture("rl002_bad.py")
+        got = [(f.rule_id, f.line) for f in report.findings]
+        assert got == [("RL002", 11), ("RL002", 12), ("RL002", 13)]
+        assert "'engine.nope'" in report.findings[0].message
+        # The f-string interpolation renders as a wildcard marker.
+        assert ".sacn" in report.findings[1].message
+        # Known gauge name recorded through .counter() is kind drift.
+        assert "'engine.generation'" in report.findings[2].message
+
+    def test_rl003_dtype_discipline(self):
+        report = check_fixture("rl003_bad.py", "src/repro/linalg/rl003_bad.py")
+        got = [(f.rule_id, f.line) for f in report.findings]
+        assert got == [("RL003", 10), ("RL003", 11), ("RL003", 12), ("RL003", 13)]
+
+    def test_rl003_only_fires_inside_kernel_packages(self):
+        # The same source outside repro.linalg/ann/vectordb/exhaustive
+        # is out of scope — dtype discipline is a kernel contract.
+        report = check_fixture("rl003_bad.py")
+        assert report.findings == ()
+
+    def test_rl004_concurrency_hygiene(self):
+        report = check_fixture("rl004_bad.py")
+        got = [(f.rule_id, f.line) for f in report.findings]
+        assert got == [("RL004", 12), ("RL004", 16), ("RL004", 21)]
+
+    def test_syntax_error_is_a_finding_not_a_crash(self):
+        report = Analyzer().check_source("def broken(:\n", "x.py")
+        assert [f.rule_id for f in report.findings] == ["RL000"]
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        text = (FIXTURES / "rl004_bad.py").read_text(encoding="utf-8")
+        text = text.replace(
+            "cache = {}  # line 12: mutable class-level default",
+            "cache = {}  # repro-lint: disable=RL004 -- fixture",
+        )
+        report = Analyzer().check_source(text, "rl004_bad.py")
+        assert [f.line for f in report.findings] == [16, 21]
+        assert report.n_suppressed == 1
+
+    def test_standalone_comment_covers_next_line(self):
+        text = (
+            "class C:\n"
+            "    # repro-lint: disable=RL004 -- fixture\n"
+            "    cache = {}\n"
+        )
+        report = Analyzer().check_source(text, "x.py")
+        assert report.findings == ()
+        assert report.n_suppressed == 1
+
+    def test_disable_file(self):
+        text = "# repro-lint: disable-file=RL004 -- fixture\n" + (
+            FIXTURES / "rl004_bad.py"
+        ).read_text(encoding="utf-8")
+        report = Analyzer().check_source(text, "rl004_bad.py")
+        assert report.findings == ()
+        assert report.n_suppressed == 3
+
+    def test_other_rules_stay_active(self):
+        text = (FIXTURES / "rl004_bad.py").read_text(encoding="utf-8")
+        report = Analyzer().check_source(
+            "# repro-lint: disable-file=RL001 -- wrong rule\n" + text,
+            "rl004_bad.py",
+        )
+        assert len(report.findings) == 3
+
+    def test_directive_inside_string_is_not_a_directive(self):
+        text = 'MSG = "# repro-lint: disable-file=RL004"\n\n\nclass C:\n    cache = {}\n'
+        report = Analyzer().check_source(text, "x.py")
+        assert [f.rule_id for f in report.findings] == ["RL004"]
+
+    def test_parse_suppressions_reads_rule_lists(self):
+        sup = parse_suppressions("x = 1  # repro-lint: disable=RL001,RL003 -- why\n")
+        assert sup.by_line[1] == {"RL001", "RL003"}
+        assert sup.file_wide == set()
+
+
+class TestVocabulary:
+    def test_literal_names(self):
+        assert vocabulary.matches("engine.queries", call_kind="counter")
+        assert vocabulary.matches("vectordb.scan", call_kind="histogram")
+
+    def test_kind_mismatch_fails(self):
+        assert not vocabulary.matches("engine.queries", call_kind="gauge")
+        assert not vocabulary.matches("engine.generation", call_kind="counter")
+
+    def test_timer_records_histograms(self):
+        assert vocabulary.matches("exs.scan", call_kind="timer")
+
+    def test_placeholders_accept_values_and_wildcards(self):
+        assert vocabulary.matches("anns.encode", call_kind="histogram")
+        assert vocabulary.matches(vocabulary.WILDCARD + ".encode", call_kind="histogram")
+        assert not vocabulary.matches(vocabulary.WILDCARD + ".sacn", call_kind="histogram")
+
+    def test_markdown_table_shape(self):
+        table = vocabulary.markdown_table()
+        lines = table.strip().splitlines()
+        assert lines[0] == "| Metric | Kind | Meaning |"
+        assert len(lines) == len(vocabulary.VOCABULARY) + 2
+        assert any("`engine.queries`" in line for line in lines)
+
+
+class TestCleanTree:
+    """The merge gate: the linter reports nothing on the shipped tree."""
+
+    def test_src_is_clean(self):
+        report = Analyzer().check_paths([SRC])
+        formatted = "\n".join(f.format() for f in report.findings)
+        assert report.ok, f"unsuppressed lint findings:\n{formatted}"
+        assert report.n_files > 80
+
+    def test_cli_exit_zero_on_src(self, capsys):
+        assert lint_main([str(SRC)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+
+class TestCli:
+    def test_findings_exit_one_text(self, capsys):
+        code = lint_main([str(FIXTURES / "rl004_bad.py")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RL004" in out
+        assert "3 finding(s)" in out
+
+    def test_json_format(self, capsys):
+        code = lint_main([str(FIXTURES / "rl004_bad.py"), "--format=json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["n_findings"] == 3
+        assert payload["ok"] is False
+        assert {f["rule"] for f in payload["findings"]} == {"RL004"}
+        assert all({"path", "line", "col", "message"} <= set(f) for f in payload["findings"])
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004"):
+            assert rule_id in out
+
+    def test_bad_path_exits_two(self, capsys):
+        assert lint_main(["no_such_thing.txt"]) == 2
+        assert "repro-lint" in capsys.readouterr().err
+
+
+class TestReadmeSync:
+    def test_metrics_table_matches_vocabulary(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        begin, end = "<!-- metrics-table:begin -->", "<!-- metrics-table:end -->"
+        assert begin in readme and end in readme, "README metrics-table markers missing"
+        block = readme.split(begin, 1)[1].split(end, 1)[0].strip()
+        assert block == vocabulary.markdown_table().strip(), (
+            "README metrics table is out of sync with repro/obs/vocabulary.py — "
+            "regenerate it with vocabulary.markdown_table()"
+        )

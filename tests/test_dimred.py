@@ -164,3 +164,47 @@ class TestUMAP:
             UMAP(n_neighbors=1)
         with pytest.raises(ConfigurationError):
             UMAP(min_dist=5.0)
+
+
+class TestSpectralInitFallback:
+    """_spectral_init narrows its except: solver failures (ArpackError,
+    the singular-factorization RuntimeError) fall back to a random
+    init; programming errors propagate instead of being swallowed
+    (regression: the handler used to be a blanket ``except Exception``)."""
+
+    @staticmethod
+    def _failing_eigsh(exc: Exception):
+        def fake_eigsh(*args, **kwargs):
+            raise exc
+
+        return fake_eigsh
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            pytest.param(RuntimeError("Factor is exactly singular"), id="singular-splu"),
+            pytest.param(None, id="arpack-no-convergence"),  # filled in below
+        ],
+    )
+    def test_solver_failures_fall_back_to_random_init(self, blobs, monkeypatch, exc):
+        from scipy.sparse.linalg import ArpackError
+
+        import repro.dimred.umap_ as umap_mod
+
+        if exc is None:
+            exc = ArpackError(-1)
+        points, _ = blobs
+        monkeypatch.setattr(umap_mod, "eigsh", self._failing_eigsh(exc))
+        emb = UMAP(n_components=2, n_neighbors=8, n_epochs=5, seed=0).fit_transform(points)
+        assert emb.shape == (points.shape[0], 2)
+        assert np.isfinite(emb).all()
+
+    def test_programming_errors_propagate(self, blobs, monkeypatch):
+        import repro.dimred.umap_ as umap_mod
+
+        points, _ = blobs
+        monkeypatch.setattr(
+            umap_mod, "eigsh", self._failing_eigsh(TypeError("bad argument"))
+        )
+        with pytest.raises(TypeError, match="bad argument"):
+            UMAP(n_components=2, n_neighbors=8, n_epochs=5, seed=0).fit(points)

@@ -7,7 +7,7 @@ import time
 
 import pytest
 
-from repro.obs import Counter, Histogram, MetricsRegistry
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
 
 
 class TestCounter:
@@ -140,3 +140,67 @@ class TestMetricsRegistry:
         for t in threads:
             t.join()
         assert registry.histogram("stage").count == 800
+
+
+class TestLockedReads:
+    """Counter.value / Gauge.value read under the same lock the writers
+    hold — a reader racing inc()/set() must always observe a value some
+    finished write actually published (regression: the properties used
+    to read ``_value`` with no lock at all)."""
+
+    def test_counter_reads_race_increments(self):
+        counter = Counter("c")
+        stop = threading.Event()
+        observed: list[int] = []
+
+        def reader():
+            last = 0
+            while not stop.is_set():
+                value = counter.value
+                assert value >= last  # monotone: no torn/stale regressions
+                last = value
+            observed.append(last)
+
+        def writer():
+            for _ in range(20_000):
+                counter.inc()
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert counter.value == 80_000
+        assert all(final <= 80_000 for final in observed)
+
+    def test_gauge_reads_race_sets(self):
+        gauge = Gauge("g")
+        published = [float(v) for v in range(64)]
+        stop = threading.Event()
+        seen: list[float] = []
+
+        def reader():
+            while not stop.is_set():
+                seen.append(gauge.value)
+
+        def writer():
+            for _ in range(500):
+                for value in published:
+                    gauge.set(value)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer) for _ in range(2)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        allowed = {0.0} | set(published)
+        assert set(seen) <= allowed  # only values some set() published
+        assert gauge.value == published[-1]
