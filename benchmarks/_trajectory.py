@@ -1,0 +1,88 @@
+"""Bench trajectory artifacts: ``BENCH_<name>.json`` files CI uploads.
+
+Five perf-focused PRs in, the repo had numbers in CI logs and nowhere
+else.  This helper gives every benchmark one call —
+``record("serving", {...})`` — that lands its headline measurements in
+a machine-stable JSON file at the repo root (or ``$REPRO_BENCH_DIR``).
+The bench-smoke CI job uploads ``BENCH_*.json`` as an artifact, so the
+QPS/p99 trajectory is finally comparable across PRs.
+
+Schema (stable; extend with new metric keys, don't rename):
+
+    {
+      "schema": 1,
+      "name": "serving",
+      "git_sha": "<HEAD or $GITHUB_SHA or 'unknown'>",
+      "timestamp": "<UTC ISO-8601>",
+      "python": "3.12.1", "numpy": "1.26.4", "cpu_count": 4,
+      "metrics": {"closed_qps": ..., "open_p99_ms": ..., ...}
+    }
+
+Multiple tests in one bench module merge into one file: each ``record``
+call updates the ``metrics`` mapping and refreshes the envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCHEMA = 1
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return os.environ.get("GITHUB_SHA", "unknown")
+
+
+def bench_path(name: str) -> Path:
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", REPO_ROOT))
+    return out_dir / f"BENCH_{name}.json"
+
+
+def record(name: str, metrics: "dict[str, float | int | str]") -> Path:
+    """Merge ``metrics`` into ``BENCH_<name>.json`` and return its path.
+
+    Values should be plain numbers (ms, qps, ratios) rounded by the
+    caller only for display — the file keeps full precision so trend
+    diffs are not quantization noise.
+    """
+    path = bench_path(name)
+    merged: "dict[str, float | int | str]" = {}
+    if path.exists():
+        try:
+            merged.update(json.loads(path.read_text(encoding="utf-8")).get("metrics", {}))
+        except (ValueError, OSError):
+            pass  # a torn/stale file is replaced wholesale
+    merged.update(metrics)
+    payload = {
+        "schema": SCHEMA,
+        "name": name,
+        "git_sha": _git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "metrics": merged,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

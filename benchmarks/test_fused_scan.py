@@ -26,6 +26,8 @@ from repro.datamodel.relation import Federation, Relation
 from repro.embedding.cache import CachingEncoder
 from repro.embedding.semantic import SemanticHashEncoder
 
+from _trajectory import record
+
 #: Many small relations: the shape that maximizes per-block dispatch
 #: overhead relative to arithmetic.
 N_RELATIONS = 600
@@ -117,6 +119,14 @@ def test_fused_kernel_beats_per_block_kernel(fused_fed, shared_encoder):
     loop_s = best_of(per_block_kernel)
     fused_s = best_of(fused_kernel)
     speedup = loop_s / max(fused_s, 1e-9)
+    record(
+        "fused_scan",
+        {
+            "kernel_per_block_ms": loop_s * 1e3,
+            "kernel_fused_ms": fused_s * 1e3,
+            "kernel_speedup": speedup,
+        },
+    )
     print(
         f"\nExS scan kernel over {N_RELATIONS} relations x {len(QUERIES)} queries: "
         f"per-block {loop_s * 1e3:.2f} ms, fused {fused_s * 1e3:.2f} ms, "
@@ -142,6 +152,15 @@ def test_fused_end_to_end_not_slower(fused_fed, shared_encoder):
         assert ra.relation_ids() == rb.relation_ids()
 
     speedup = loop_s / max(fused_s, 1e-9)
+    record(
+        "fused_scan",
+        {
+            "e2e_per_block_ms": loop_s * 1e3,
+            "e2e_fused_ms": fused_s * 1e3,
+            "e2e_speedup": speedup,
+            "e2e_qps": len(QUERIES) / max(fused_s, 1e-9),
+        },
+    )
     print(
         f"\nExS end-to-end over {N_RELATIONS} relations x {len(QUERIES)} queries: "
         f"per-block {loop_s * 1e3:.1f} ms, fused {fused_s * 1e3:.1f} ms, "
@@ -165,6 +184,15 @@ def test_float32_throughput_and_memory_vs_float64(fused_fed, shared_encoder):
 
     qps32 = len(QUERIES) / max(f32_s, 1e-9)
     qps64 = len(QUERIES) / max(f64_s, 1e-9)
+    record(
+        "fused_scan",
+        {
+            "f32_qps": qps32,
+            "f64_qps": qps64,
+            "f32_index_mb": f32_bytes / 1e6,
+            "f64_index_mb": f64_bytes / 1e6,
+        },
+    )
     print(
         f"\nExS fused dtype sweep: float32 {f32_s * 1e3:.1f} ms "
         f"({qps32:.0f} q/s, {f32_bytes / 1e6:.1f} MB), "

@@ -21,8 +21,9 @@ import threading
 
 import numpy as np
 from collections.abc import Iterable, Mapping, Sequence
+from contextlib import AbstractContextManager
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.anns import ANNSearch
 from repro.core.base import SearchMethod
@@ -52,6 +53,9 @@ from repro.embedding.semantic import SemanticHashEncoder
 from repro.errors import ConfigurationError, NotFittedError
 from repro.obs import MetricsRegistry
 from repro.sanitize import sanitize_enabled
+
+if TYPE_CHECKING:  # circular at runtime: repro.serving wraps this engine
+    from repro.serving import ServingEngine
 
 __all__ = ["DiscoveryEngine"]
 
@@ -409,9 +413,48 @@ class DiscoveryEngine:
         """
         queries = list(queries)
         with self._lifecycle_lock.read():
-            self.metrics.counter("engine.queries").inc(len(queries))
-            self.metrics.counter("engine.batches").inc()
-            return self.method(method).search_batch(queries, k=k, h=h, workers=workers)
+            return self.search_batch_locked(queries, method=method, k=k, h=h, workers=workers)
+
+    # -- serving hooks ----------------------------------------------------
+
+    def read_lock(self) -> "AbstractContextManager[None]":
+        """The reader side of the lifecycle lock, for external dispatchers.
+
+        The serving layer runs each coalesced window on an executor
+        thread; wrapping the window in ``with engine.read_lock():``
+        around :meth:`search_batch_locked` makes it synchronize with
+        writer deltas exactly like a direct :meth:`search_batch` call —
+        one complete federation generation per window, no new locks.
+        """
+        return self._lifecycle_lock.read()
+
+    @requires_lock("read")
+    def search_batch_locked(
+        self,
+        queries: Sequence[str],
+        method: str = "cts",
+        k: int = 10,
+        h: float = 0.0,
+        workers: int = 1,
+    ) -> BatchResult:
+        """:meth:`search_batch` body for callers already holding
+        :meth:`read_lock` (the serving dispatch path, which may bracket
+        several windows under one acquisition)."""
+        self.metrics.counter("engine.queries").inc(len(queries))
+        self.metrics.counter("engine.batches").inc()
+        return self.method(method).search_batch(queries, k=k, h=h, workers=workers)
+
+    def serving(self, **kwargs: Any) -> "ServingEngine":
+        """An async micro-batching front end over this engine.
+
+        Keyword arguments are forwarded to
+        :class:`~repro.serving.ServingEngine` (window size, batch and
+        queue bounds, tenant rate limits).  The serving layer shares
+        this engine's metrics registry and lifecycle lock.
+        """
+        from repro.serving import ServingEngine
+
+        return ServingEngine(self, **kwargs)
 
     def search_all_methods(
         self, query: str, k: int = 10, h: float = 0.0

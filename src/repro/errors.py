@@ -50,6 +50,39 @@ class SanitizerError(ReproError):
     non-finite / wrongly-typed operands at a fused-kernel boundary."""
 
 
+class ServingError(ReproError):
+    """Base class for failures of the async serving front end."""
+
+
+class QueueFull(ServingError):
+    """Admission control rejected a request: the serving queue is at its
+    bound.  ``retry_after_ms`` is a backoff hint — roughly how long the
+    current backlog needs to drain one window."""
+
+    def __init__(self, message: str, retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class RateLimited(ServingError):
+    """A tenant's token bucket is empty.  ``retry_after_ms`` is the time
+    until the bucket refills one token at its sustained rate."""
+
+    def __init__(self, message: str, tenant: str, retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after_ms = retry_after_ms
+
+
+class DeadlineExceeded(ServingError):
+    """A request's deadline expired while it waited in a batching window;
+    it was shed before reaching the engine."""
+
+
+class ServingClosed(ServingError):
+    """A request arrived after :meth:`ServingEngine.drain` stopped intake."""
+
+
 class DataGenerationError(ReproError):
     """Synthetic corpus or query generation failed."""
 

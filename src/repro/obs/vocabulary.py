@@ -37,6 +37,7 @@ _PLACEHOLDER_PATTERNS = {
     "method": r"[a-z0-9_]+(?:\.shard[0-9]+)?",
     "shard": r"[0-9]+",
     "collection": r"[A-Za-z0-9_.-]+",
+    "tenant": r"[A-Za-z0-9_-]+",
 }
 
 _PLACEHOLDER_RE = re.compile(r"\{([a-z]+)\}")
@@ -82,6 +83,19 @@ VOCABULARY: tuple[MetricSpec, ...] = (
     MetricSpec("{method}.fused_rows", "counter", "Rows x queries pushed through the fused ExS kernel."),
     MetricSpec("{method}.drift", "gauge", "Clustering staleness absorbed since the last rebuild (CTS)."),
     MetricSpec("{method}.rebuilds", "counter", "Drift-triggered full re-clusterings (CTS)."),
+    # -- serving.* --------------------------------------------------------
+    MetricSpec("serving.submitted", "counter", "Requests admitted into the serving queue."),
+    MetricSpec("serving.completed", "counter", "Requests answered with a result."),
+    MetricSpec("serving.rejected", "counter", "Requests rejected at admission: queue full."),
+    MetricSpec("serving.throttled", "counter", "Requests rejected by a tenant's token bucket."),
+    MetricSpec("serving.shed", "counter", "Expired requests shed before reaching the engine."),
+    MetricSpec("serving.batches", "counter", "Coalesced windows dispatched to the engine."),
+    MetricSpec("serving.queue_depth", "gauge", "Admitted-but-unanswered requests (backpressure level)."),
+    MetricSpec("serving.batch_fill", "histogram", "Live requests per dispatched window (coalescing efficiency)."),
+    MetricSpec("serving.queue_ms", "histogram", "Submit-to-dispatch wait in the batching window (ms)."),
+    MetricSpec("serving.dispatch_ms", "histogram", "Engine time per dispatched window (ms)."),
+    MetricSpec("serving.e2e_ms", "histogram", "Submit-to-result end-to-end latency (ms)."),
+    MetricSpec("serving.tenant.{tenant}.throttled", "counter", "Rate-limit rejections, per tenant."),
     # -- vectordb.* -------------------------------------------------------
     MetricSpec("vectordb.searches", "counter", "Collection searches (one per query, batched or not)."),
     MetricSpec("vectordb.batches", "counter", "Batched collection searches."),

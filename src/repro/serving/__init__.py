@@ -1,0 +1,34 @@
+"""Async serving front end: micro-batching, admission control, drain.
+
+The engine's batch kernels want big query blocks; served traffic
+arrives one query at a time.  This package is the adapter — see
+:mod:`repro.serving.loop` for the threading model and
+:class:`ServingEngine` for the API.  Construct one directly or via
+:meth:`DiscoveryEngine.serving() <repro.core.engine.DiscoveryEngine.serving>`.
+
+Stdlib-only by design (asyncio + concurrent.futures): the serving
+layer adds no dependencies over the library it serves.
+"""
+
+from repro.errors import DeadlineExceeded, QueueFull, RateLimited, ServingClosed, ServingError
+from repro.serving.admission import AdmissionController
+from repro.serving.batcher import BatchKey, MicroBatcher, PendingRequest
+from repro.serving.loop import ServingEngine
+from repro.serving.tenancy import DEFAULT_TENANT, RateLimit, TenantRateLimiter, TokenBucket
+
+__all__ = [
+    "AdmissionController",
+    "BatchKey",
+    "DEFAULT_TENANT",
+    "DeadlineExceeded",
+    "MicroBatcher",
+    "PendingRequest",
+    "QueueFull",
+    "RateLimit",
+    "RateLimited",
+    "ServingClosed",
+    "ServingEngine",
+    "ServingError",
+    "TenantRateLimiter",
+    "TokenBucket",
+]

@@ -1,0 +1,85 @@
+"""Admission control: bounded queue, tenant budgets, request deadlines.
+
+Every ``submit()`` passes through one :class:`AdmissionController`
+check *before* anything is enqueued, so overload is rejected at the
+door — cheaply, with a retry-after hint — instead of growing an
+unbounded backlog whose tail latency nobody can meet anyway:
+
+* **backpressure** — at most ``max_queue`` admitted-but-unanswered
+  requests may exist at once; past that, :class:`~repro.errors.QueueFull`
+  carries a hint of roughly how long one batching window needs to drain;
+* **tenant isolation** — each tenant's token bucket is consulted first
+  (:class:`~repro.serving.tenancy.TenantRateLimiter`), so one saturating
+  client throttles itself, not the queue;
+* **deadlines** — a per-request ``timeout_ms`` becomes an absolute
+  deadline stamped here; the dispatcher sheds expired requests before
+  they reach the engine (dead work would only inflate every survivor's
+  p99).
+
+Called from the serving event-loop thread only; no locks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError, QueueFull, RateLimited
+from repro.serving.tenancy import RateLimit, TenantRateLimiter
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """The submit-time gate; see the module docstring for the policy."""
+
+    def __init__(
+        self,
+        max_queue: int,
+        window_ms: float,
+        max_batch: int,
+        default_limit: RateLimit | None = None,
+        tenant_limits: "dict[str, RateLimit] | None" = None,
+    ) -> None:
+        if max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1")
+        self.max_queue = max_queue
+        self.window_ms = window_ms
+        self.max_batch = max_batch
+        self.limiter = TenantRateLimiter(default_limit, tenant_limits)
+
+    def retry_after_ms(self, outstanding: int) -> float:
+        """Backoff hint when the queue is full: windows needed to drain
+        the backlog at one ``max_batch`` per ``window_ms`` (a floor —
+        dispatch may run windows concurrently — but an honest unit)."""
+        windows = max(1, math.ceil(outstanding / self.max_batch))
+        return max(self.window_ms, 1.0) * windows
+
+    def admit(self, tenant: str, outstanding: int, now: float) -> None:
+        """Raise :class:`RateLimited` / :class:`QueueFull`, or admit.
+
+        The bucket is consulted before the queue bound so a throttled
+        tenant burns its own budget, never a queue slot.
+        """
+        retry_s = self.limiter.admit(tenant, now)
+        if retry_s is not None:
+            raise RateLimited(
+                f"tenant {tenant!r} is over its rate budget; "
+                f"retry in ~{retry_s * 1000.0:.0f} ms",
+                tenant=tenant,
+                retry_after_ms=retry_s * 1000.0,
+            )
+        if outstanding >= self.max_queue:
+            hint = self.retry_after_ms(outstanding)
+            raise QueueFull(
+                f"serving queue is at its bound ({self.max_queue} outstanding); "
+                f"retry in ~{hint:.0f} ms",
+                retry_after_ms=hint,
+            )
+
+    def deadline(self, timeout_ms: float | None, now: float) -> float | None:
+        """Absolute monotonic deadline for a request, or ``None``."""
+        if timeout_ms is None:
+            return None
+        if timeout_ms < 0.0:
+            raise ConfigurationError("timeout_ms must be >= 0")
+        return now + timeout_ms / 1000.0

@@ -1,0 +1,128 @@
+"""Micro-batching: coalesce concurrent single queries into engine batches.
+
+The engine's ``search_batch`` kernels amortize encode and scan work
+across a whole query block (one GEMM instead of N matrix-vector calls),
+but served traffic arrives as many independent single-query ``submit``
+calls.  The :class:`MicroBatcher` bridges the two shapes: requests
+accumulate in per-:class:`BatchKey` windows and a window is dispatched
+when it *fills* (``max_batch`` requests) or when it *ages out*
+(``window_ms`` after its first request) — whichever comes first.  The
+time trigger bounds the latency cost of batching at one window; the
+size trigger caps it at zero under saturation, where windows fill
+instantly.
+
+Requests with different ``(method, k, h)`` must never share an engine
+call — a CTS query cannot ride an ExS GEMM, and a ``k=5`` answer cut
+from a ``k=100`` batch would rank identically but cost like the worst
+request — so the key is the full dispatch signature and each key ages
+independently.
+
+The batcher is event-loop-confined: every method runs on the loop
+thread that first touched it (timers are plain ``call_later`` handles),
+so it needs no locks.  Dispatch is a callback — the batcher decides
+*when* a window is ready, the serving engine decides *what* running it
+means (shedding, executor hand-off, delivery).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.results import SearchResult
+from repro.errors import ConfigurationError
+
+__all__ = ["BatchKey", "MicroBatcher", "PendingRequest"]
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """The dispatch signature a window shares: incompatible requests
+    (different method, k or threshold) never coalesce."""
+
+    method: str
+    k: int
+    h: float
+
+
+@dataclass
+class PendingRequest:
+    """One admitted ``submit()`` waiting in a window.
+
+    ``future`` resolves to the request's :class:`SearchResult` (or an
+    error) on the loop that created it; ``deadline`` is an absolute
+    monotonic timestamp past which the request is shed undispatched.
+    """
+
+    query: str
+    key: BatchKey
+    tenant: str
+    future: "asyncio.Future[SearchResult]"
+    enqueued: float = field(default_factory=time.monotonic)
+    deadline: float | None = None
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+class MicroBatcher:
+    """Time/size-windowed coalescing of pending requests, per key."""
+
+    def __init__(
+        self,
+        window_ms: float,
+        max_batch: int,
+        dispatch: Callable[[BatchKey, "list[PendingRequest]"], None],
+    ) -> None:
+        if window_ms < 0.0:
+            raise ConfigurationError("window_ms must be >= 0")
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        self.window_ms = window_ms
+        self.max_batch = max_batch
+        self._dispatch = dispatch
+        self._pending: dict[BatchKey, list[PendingRequest]] = {}
+        self._timers: dict[BatchKey, asyncio.TimerHandle] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    @property
+    def depth(self) -> int:
+        """Requests waiting in windows (excludes dispatched work)."""
+        return sum(len(bucket) for bucket in self._pending.values())
+
+    def add(self, request: PendingRequest) -> None:
+        """Enqueue one request; may dispatch its window synchronously.
+
+        The first request of a window arms the window timer; the
+        ``max_batch``-th flushes the window immediately (cancelling the
+        timer), so under saturation the time trigger never fires.
+        """
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        bucket = self._pending.setdefault(request.key, [])
+        bucket.append(request)
+        if len(bucket) >= self.max_batch:
+            self.flush(request.key)
+        elif len(bucket) == 1:
+            self._timers[request.key] = self._loop.call_later(
+                self.window_ms / 1000.0, self.flush, request.key
+            )
+
+    def flush(self, key: BatchKey) -> None:
+        """Dispatch one key's window now (no-op when already empty —
+        a timer racing a size-trigger flush must not double-fire)."""
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        requests = self._pending.pop(key, [])
+        # Chunk defensively: flush_all() can see an over-full bucket if
+        # dispatch re-entrancy ever parks extra requests behind a key.
+        for start in range(0, len(requests), self.max_batch):
+            self._dispatch(key, requests[start : start + self.max_batch])
+
+    def flush_all(self) -> None:
+        """Dispatch every pending window (drain path)."""
+        for key in list(self._pending):
+            self.flush(key)

@@ -1,0 +1,113 @@
+"""Per-tenant token-bucket rate limiting for the serving front end.
+
+A served federation is shared: one misbehaving client hammering
+``submit()`` must not be able to starve everyone else's latency budget.
+Each tenant gets an independent :class:`TokenBucket` — sustained
+``rate`` requests/second with a ``burst`` allowance — so saturating one
+bucket throttles only that tenant while the others keep being admitted.
+
+Everything here is called from the serving event-loop thread only, so
+the buckets carry no locks; the limiter is deterministic given the
+injected clock, which is how the tests drive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DEFAULT_TENANT", "RateLimit", "TenantRateLimiter", "TokenBucket"]
+
+#: Tenant id used when callers don't identify themselves.
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class RateLimit:
+    """A tenant's budget: ``rate`` requests/second sustained, up to
+    ``burst`` queued instantaneously (the bucket's capacity)."""
+
+    rate: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise ConfigurationError("rate limit rate must be > 0 requests/second")
+        if self.burst < 1.0:
+            raise ConfigurationError("rate limit burst must allow at least one request")
+
+
+class TokenBucket:
+    """The classic leaky-bucket-as-meter: tokens refill continuously at
+    ``limit.rate`` up to ``limit.burst``; each admitted request takes
+    one.  Time is passed in, never read, so refill is testable."""
+
+    __slots__ = ("limit", "_tokens", "_stamp")
+
+    def __init__(self, limit: RateLimit, now: float = 0.0) -> None:
+        self.limit = limit
+        self._tokens = limit.burst
+        self._stamp = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._stamp
+        if elapsed > 0.0:
+            self._tokens = min(self.limit.burst, self._tokens + elapsed * self.limit.rate)
+        self._stamp = max(self._stamp, now)
+
+    def try_acquire(self, now: float) -> bool:
+        """Take one token if available; ``False`` leaves the bucket as-is."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self, now: float) -> float:
+        """Seconds until one token will be available at the sustained rate."""
+        self._refill(now)
+        missing = 1.0 - self._tokens
+        return max(0.0, missing / self.limit.rate)
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+
+class TenantRateLimiter:
+    """Lazily materialized per-tenant buckets.
+
+    ``per_tenant`` pins explicit budgets; every other tenant gets a
+    fresh bucket from ``default_limit`` on first sight.  A ``None``
+    default admits unknown tenants unconditionally — rate limiting is
+    opt-in, matching the engine's open-by-default posture.
+    """
+
+    def __init__(
+        self,
+        default_limit: RateLimit | None = None,
+        per_tenant: "dict[str, RateLimit] | None" = None,
+        now: float = 0.0,
+    ) -> None:
+        self.default_limit = default_limit
+        self._limits = dict(per_tenant or {})
+        self._buckets: dict[str, TokenBucket] = {
+            tenant: TokenBucket(limit, now) for tenant, limit in self._limits.items()
+        }
+
+    def _bucket(self, tenant: str, now: float) -> TokenBucket | None:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            if self.default_limit is None:
+                return None
+            bucket = self._buckets[tenant] = TokenBucket(self.default_limit, now)
+        return bucket
+
+    def admit(self, tenant: str, now: float) -> float | None:
+        """``None`` when admitted; otherwise the retry-after hint in
+        seconds (and no token is consumed)."""
+        bucket = self._bucket(tenant, now)
+        if bucket is None or bucket.try_acquire(now):
+            return None
+        return bucket.retry_after(now)

@@ -26,3 +26,6 @@ class BadEngine:
     def fine(self, key, value):
         with self._lifecycle_lock.write():
             self._store[key] = value  # held: not flagged
+
+    async def search_async(self, key):  # line 30: async search, no lock either
+        return self._store.get(key)

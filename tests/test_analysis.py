@@ -34,10 +34,13 @@ class TestRuleFixtures:
     def test_rl001_lock_discipline(self):
         report = check_fixture("rl001_bad.py")
         got = [(f.rule_id, f.line) for f in report.findings]
-        assert got == [("RL001", 18), ("RL001", 21), ("RL001", 23)]
+        assert got == [("RL001", 18), ("RL001", 21), ("RL001", 23), ("RL001", 30)]
         assert "_store" in report.findings[0].message
         assert "_methods.clear()" in report.findings[1].message
         assert "search" in report.findings[2].message
+        # Async serving entry points obey the same discipline (PR 6's
+        # batch dispatch path is an async front end over the RWLock).
+        assert "search_async" in report.findings[3].message
 
     def test_rl002_metrics_vocabulary(self):
         report = check_fixture("rl002_bad.py")
