@@ -20,6 +20,10 @@ encoding the real invariants:
   ``repro.core.exhaustive``).
 * **RL004 concurrency hygiene** — no raw ``threading.Lock`` beside an
   RWLock, no ``except Exception: pass``, no mutable class defaults.
+* **RL005 executor construction** — raw ``ThreadPoolExecutor`` /
+  ``ProcessPoolExecutor`` only inside :mod:`repro.exec`; every other
+  parallel site runs on the engine's
+  :class:`~repro.exec.ExecutionBackend`.
 
 The runtime complement (``REPRO_SANITIZE=1``) lives in
 :mod:`repro.sanitize` and :class:`repro.core.lifecycle.InstrumentedRWLock`.

@@ -1,4 +1,4 @@
-"""The repo's invariants as lint rules (RL001-RL004).
+"""The repo's invariants as lint rules (RL001-RL005).
 
 Each rule encodes a convention the serving stack's correctness actually
 rests on; the module docstring of :mod:`repro.analysis` has the index.
@@ -18,6 +18,7 @@ from repro.obs import vocabulary
 __all__ = [
     "ConcurrencyHygieneRule",
     "DtypeDisciplineRule",
+    "ExecutorConstructionRule",
     "LockDisciplineRule",
     "MetricsVocabularyRule",
     "default_rules",
@@ -31,6 +32,7 @@ def default_rules() -> "tuple[Rule, ...]":
         MetricsVocabularyRule(),
         DtypeDisciplineRule(),
         ConcurrencyHygieneRule(),
+        ExecutorConstructionRule(),
     )
 
 
@@ -519,3 +521,47 @@ class ConcurrencyHygieneRule(Rule):
                 f"{caught}: pass swallows every error silently — narrow the "
                 "exception, handle it, or log and re-raise",
             )
+
+
+class ExecutorConstructionRule(Rule):
+    """RL005: thread/process pools are constructed only in ``repro.exec``.
+
+    Every parallel site runs on the engine's
+    :class:`~repro.exec.ExecutionBackend`; a raw ``ThreadPoolExecutor``
+    or ``ProcessPoolExecutor`` constructed anywhere else resurrects the
+    per-call pool churn the execution layer exists to end — pools that
+    are born and torn down per batch, invisible to ``exec.*`` metrics
+    and to the engine's ``close()`` lifecycle.  Use
+    ``resolve_backend()`` / the injected ``executor`` instead; a
+    deliberate exception carries a suppression comment with its reason.
+    """
+
+    rule_id = "RL005"
+    title = "thread/process pools constructed only in repro.exec"
+
+    _POOLS = frozenset({"ThreadPoolExecutor", "ProcessPoolExecutor"})
+    _HOME = "repro/exec/"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if self._HOME in module.posix_path:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name in self._POOLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"raw {name} constructed outside repro.exec — run this "
+                    "on the ExecutionBackend (resolve_backend() or the "
+                    "injected executor) so pools are persistent, metered "
+                    "and closed with the engine",
+                )

@@ -4,14 +4,21 @@ from __future__ import annotations
 
 import abc
 import time
+import weakref
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
 
 from repro.core.results import BatchResult, RelationMatch, SearchResult
 from repro.core.semimg import FederationEmbeddings, RelationEmbedding
-from repro.errors import NotFittedError
+from repro.errors import ExecutionError, NotFittedError
+from repro.exec import ExecutionBackend, resolve_backend
 from repro.obs import MetricsRegistry
 from repro.sanitize import sanitize_enabled
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.exec import ShardScanSpec
 
 __all__ = ["SearchMethod", "even_chunks"]
 
@@ -56,6 +63,10 @@ class SearchMethod(abc.ABC):
     def __init__(self) -> None:
         self._embeddings: FederationEmbeddings | None = None
         self.metrics = MetricsRegistry()
+        #: Injected execution backend (an engine's); ``None`` means the
+        #: method lazily creates one of its own on first parallel call.
+        self._executor: ExecutionBackend | None = None
+        self._owned_executor: ExecutionBackend | None = None
         #: When true, kernel boundaries guard operands for NaN/Inf and
         #: dtype mismatches (see :mod:`repro.sanitize`).  Defaults to
         #: the ``REPRO_SANITIZE`` environment switch; a
@@ -72,6 +83,40 @@ class SearchMethod(abc.ABC):
     @property
     def is_indexed(self) -> bool:
         return self._embeddings is not None
+
+    # -- execution ---------------------------------------------------------
+
+    @property
+    def executor(self) -> ExecutionBackend:
+        """The execution backend running this method's parallel work."""
+        return self._backend()
+
+    @executor.setter
+    def executor(self, backend: ExecutionBackend) -> None:
+        """Inject a shared backend (a
+        :class:`~repro.core.engine.DiscoveryEngine`'s); the injector
+        owns its lifecycle, :meth:`close` here will not touch it."""
+        self._executor = backend
+
+    def _backend(self) -> ExecutionBackend:
+        if self._executor is not None:
+            return self._executor
+        if self._owned_executor is None:
+            owned = resolve_backend(None, metrics=self.metrics)
+            # Standalone methods are rarely close()-d explicitly; tie
+            # the pool's release to this method's garbage collection.
+            weakref.finalize(self, owned.close)
+            self._owned_executor = owned
+        return self._owned_executor
+
+    def close(self) -> None:
+        """Release resources this method owns: a self-created backend
+        and (in subclasses) index storage such as shared-memory
+        buffers.  An injected backend is the injector's to close.
+        Idempotent."""
+        owned, self._owned_executor = self._owned_executor, None
+        if owned is not None:
+            owned.close()
 
     def index(self, embeddings: FederationEmbeddings) -> "SearchMethod":
         """Build this method's data structures over the federation."""
@@ -171,25 +216,39 @@ class SearchMethod(abc.ABC):
     def _score_batch_parallel(
         self, queries: Sequence[str], workers: int
     ) -> list[list[RelationMatch]]:
-        """Thread-pool scoring; the default chunks over *queries*.
+        """Backend-parallel scoring; the default chunks over *queries*.
 
         The kernels are NumPy-bound and release the GIL inside BLAS, so
-        threads give real parallelism without pickling indexes across
-        processes.  ExhaustiveSearch overrides this to chunk over
-        *relations* instead (its unit of work is the relation scan).
+        the default thread backend gives real parallelism without
+        pickling indexes across processes.  ExhaustiveSearch overrides
+        this to chunk over *relations* instead (its unit of work is the
+        relation scan).
         """
         chunks = even_chunks(len(queries), workers)
         if len(chunks) < 2:
             return self._score_batch(queries)
-        with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-            parts = list(
-                pool.map(lambda c: self._score_batch([queries[i] for i in c]), chunks)
-            )
+        parts = self._backend().map(
+            lambda c: self._score_batch([queries[i] for i in c]), chunks, cap=workers
+        )
         out: list[list[RelationMatch]] = [[] for _ in range(len(queries))]
         for chunk, part in zip(chunks, parts):
             for i, matches in zip(chunk, part):
                 out[i] = matches
         return out
+
+    # -- resident shard scans ----------------------------------------------
+
+    def scan_spec(self) -> "ShardScanSpec | None":
+        """Picklable scan state for a process-backend worker, or
+        ``None`` when this method has no resident-scan path (the
+        sharded scatter-gather then falls back to ``backend.map`` over
+        in-process per-shard scans)."""
+        return None
+
+    def matches_from_scores(self, scores: "np.ndarray") -> list[list[RelationMatch]]:
+        """Turn a worker's raw ``(relations, queries)`` score matrix
+        back into per-query matches; pairs with :meth:`scan_spec`."""
+        raise ExecutionError(f"{type(self).__name__} has no resident scan path")
 
     def search_batch(
         self,

@@ -18,6 +18,7 @@ one.
 from __future__ import annotations
 
 import threading
+import weakref
 
 import numpy as np
 from collections.abc import Iterable, Mapping, Sequence
@@ -51,6 +52,7 @@ from repro.embedding.base import SentenceEncoder
 from repro.embedding.cache import CachingEncoder
 from repro.embedding.semantic import SemanticHashEncoder
 from repro.errors import ConfigurationError, NotFittedError
+from repro.exec import ExecutionBackend, resolve_backend
 from repro.obs import MetricsRegistry
 from repro.sanitize import sanitize_enabled
 
@@ -99,6 +101,17 @@ class DiscoveryEngine:
     shard_seed:
         Seed of the rendezvous hash — must be stable across sessions
         that share a persisted index.
+    executor:
+        The execution backend running every parallel site — query
+        fan-outs, sharded scatter-gather, fused-scan chunking.  Pass a
+        backend name (``"inline"`` / ``"thread"`` / ``"process"``), a
+        ready :class:`~repro.exec.ExecutionBackend` instance (the
+        caller then owns its lifecycle), or ``None`` to defer to the
+        ``REPRO_EXECUTOR`` environment variable (default ``thread``).
+        A process backend additionally stores ExS scan matrices in
+        shared memory and scans them in resident worker processes.
+        The engine closes a backend it created itself at
+        :meth:`close`.
     sanitize:
         Arm the runtime sanitizers: the lifecycle lock becomes an
         :class:`~repro.core.lifecycle.InstrumentedRWLock` (raises on
@@ -126,6 +139,7 @@ class DiscoveryEngine:
         shards: int = 1,
         shard_seed: int = 0,
         dtype: "str | np.dtype | type" = np.float32,
+        executor: "ExecutionBackend | str | None" = None,
         sanitize: bool | None = None,
     ) -> None:
         if encoder is None:
@@ -149,6 +163,15 @@ class DiscoveryEngine:
         #: Shared observability registry: every method and its vector-db
         #: collections record counters and per-stage latencies here.
         self.metrics = MetricsRegistry()
+        #: One backend for every parallel site; ``exec.*`` metrics land
+        #: in the shared registry.  Owned iff the engine resolved it
+        #: from a name (an injected instance is the caller's to close).
+        self._owns_executor = not isinstance(executor, ExecutionBackend)
+        self._executor = resolve_backend(executor, metrics=self.metrics)
+        if self._owns_executor:
+            # close() is the deterministic path; the finalizer only
+            # reaps pools of engines that were never closed.
+            weakref.finalize(self, self._executor.close)
         # Readers (searches) overlap; a writer (delta) is exclusive.
         self._lifecycle_lock = InstrumentedRWLock() if self.sanitize else RWLock()
         # Serializes lazy method construction between reader threads.
@@ -170,7 +193,7 @@ class DiscoveryEngine:
         embeddings = build_federation_embeddings(federation, self.encoder)
         with self._lifecycle_lock.write():
             self._embeddings = embeddings
-            self._methods.clear()
+            self._close_methods()
             self._sharded = self._partition(embeddings)
             self.metrics.gauge("engine.generation").set(embeddings.generation)
         return self
@@ -222,7 +245,7 @@ class DiscoveryEngine:
         # Same writer-side swap as index(): loading is a store mutation.
         with self._lifecycle_lock.write():
             self._embeddings = loaded
-            self._methods.clear()
+            self._close_methods()
             self._sharded = self._partition(loaded)
             self.metrics.gauge("engine.generation").set(loaded.generation)
         return self
@@ -230,7 +253,14 @@ class DiscoveryEngine:
     def _make_method(self, name: str) -> SearchMethod:
         params = self.method_params.get(name, {})
         if name == "exs":
-            return ExhaustiveSearch(**{"dtype": self.dtype, **params})
+            # A process backend scans ExS state in resident workers, so
+            # the stacked matrix goes into a shared-memory segment the
+            # workers map zero-copy.
+            defaults: dict[str, Any] = {
+                "dtype": self.dtype,
+                "shared_buffers": self._executor.wants_shared_buffers,
+            }
+            return ExhaustiveSearch(**{**defaults, **params})
         if name == "anns":
             return ANNSearch(**{"dtype": self.dtype, **params})
         if name == "cts":
@@ -242,6 +272,7 @@ class DiscoveryEngine:
     def _configure_method(self, method: SearchMethod) -> SearchMethod:
         """Inject the engine-level cross-cutting knobs into a method."""
         method.sanitize = self.sanitize
+        method.executor = self._executor
         return method
 
     def method(self, name: str) -> SearchMethod:
@@ -281,6 +312,39 @@ class DiscoveryEngine:
         for name in self.METHODS:
             self.method(name)
         return self
+
+    # -- execution & teardown ----------------------------------------------
+
+    @property
+    def executor(self) -> ExecutionBackend:
+        """The backend running this engine's parallel work."""
+        return self._executor
+
+    @requires_lock("write")
+    def _close_methods(self) -> None:
+        """Close and drop every built method (caller holds the write
+        lock): pools owned by standalone methods shut down, shared
+        scan buffers unlink, worker-resident shard state drops."""
+        for method in self._methods.values():
+            method.close()
+        self._methods.clear()
+
+    def close(self) -> None:
+        """Release everything the engine owns: method indexes (their
+        shared-memory segments and worker-resident state) and — when
+        the engine created it — the execution backend and its pools or
+        worker processes.  Idempotent; the engine can be re-``index()``-d
+        afterwards only with an injected, still-open backend."""
+        with self._lifecycle_lock.write():
+            self._close_methods()
+        if self._owns_executor:
+            self._executor.close()
+
+    def __enter__(self) -> "DiscoveryEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- incremental lifecycle ---------------------------------------------
 

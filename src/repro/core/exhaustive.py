@@ -24,7 +24,6 @@ fused similarity matrix.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 import numpy as np
@@ -32,6 +31,8 @@ import numpy as np
 from repro.core.base import SearchMethod, even_chunks
 from repro.core.results import RelationMatch
 from repro.core.semimg import RelationEmbedding
+from repro.exec import ShardScanSpec
+from repro.linalg import SharedBuffer, segment_scores
 from repro.sanitize import guard_operands
 
 __all__ = ["ExhaustiveSearch"]
@@ -67,6 +68,12 @@ class ExhaustiveSearch(SearchMethod):
         upcast-everything behavior.  Aggregation weights stay float64
         in both modes so segment means lose no precision beyond the
         similarity dtype itself.
+    shared_buffers:
+        Store the stacked matrix in a named shared-memory segment
+        (:class:`~repro.linalg.SharedBuffer`) so process-backend shard
+        workers can map the same bytes zero-copy.  An engine running a
+        :class:`~repro.exec.ProcessBackend` turns this on; the default
+        keeps the matrix an ordinary ndarray.
     """
 
     name = "exs"
@@ -78,6 +85,7 @@ class ExhaustiveSearch(SearchMethod):
         vectorized: bool = False,
         fused: bool = True,
         dtype: "str | np.dtype[Any] | type" = np.float32,
+        shared_buffers: bool = False,
     ):
         super().__init__()
         if aggregate not in ("mean", "max_mean"):
@@ -91,7 +99,9 @@ class ExhaustiveSearch(SearchMethod):
         self.dtype = np.dtype(dtype)
         if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
             raise ValueError("dtype must be float32 or float64")
+        self.shared_buffers = shared_buffers
         self._matrix: np.ndarray | None = None
+        self._buffer: SharedBuffer | None = None
         self._counts: np.ndarray | None = None
         self._block_ids: list[str] = []
         self._block_sizes: list[int] = []
@@ -107,12 +117,28 @@ class ExhaustiveSearch(SearchMethod):
         """Resident bytes of the stacked vector matrix."""
         return int(self._matrix.nbytes) if self._matrix is not None else 0
 
+    def _store_matrix(self, stacked: np.ndarray) -> None:
+        """Publish ``stacked`` as the scan matrix.
+
+        In ``shared_buffers`` mode the rows are copied into a fresh
+        named segment and the previous segment is released *after* the
+        swap — deltas run under the engine's writer lock, so no inline
+        scan can be reading the old buffer, and worker processes hold
+        their own mapping until the re-publish replaces it.
+        """
+        stacked = stacked.astype(self.dtype, copy=False)
+        if not self.shared_buffers:
+            self._matrix = stacked
+            return
+        old, self._buffer = self._buffer, SharedBuffer.from_array(stacked)
+        self._matrix = self._buffer.array
+        if old is not None:
+            old.close()
+
     def _build(self) -> None:
         # Stack every relation's vectors once; queries scan the blocks.
         relations = self.embeddings.relations
-        self._matrix = np.vstack([r.vectors for r in relations]).astype(
-            self.dtype, copy=False
-        )
+        self._store_matrix(np.vstack([r.vectors for r in relations]))
         self._counts = np.concatenate([r.counts for r in relations])
         self._block_ids = [r.relation_id for r in relations]
         self._block_sizes = [r.n_unique for r in relations]
@@ -149,11 +175,14 @@ class ExhaustiveSearch(SearchMethod):
         removed: list[str],
     ) -> None:
         """Patch the stacked matrix: mask out retired blocks, append
-        fresh ones.  Untouched rows are moved, never recomputed."""
+        fresh ones.  Untouched rows are moved, never recomputed.  The
+        final layout is published once through :meth:`_store_matrix`,
+        so shared-buffer mode swaps segments exactly once per delta."""
         assert self._matrix is not None and self._counts is not None
+        matrix = self._matrix
         drop = set(removed) | {r.relation_id for r in updated}
         if drop:
-            keep = np.ones(self._matrix.shape[0], dtype=bool)
+            keep = np.ones(matrix.shape[0], dtype=bool)
             kept_ids: list[str] = []
             kept_sizes: list[int] = []
             start = 0
@@ -165,20 +194,22 @@ class ExhaustiveSearch(SearchMethod):
                     kept_ids.append(rid)
                     kept_sizes.append(size)
                 start += size
-            self._matrix = self._matrix[keep]
+            matrix = matrix[keep]
             self._counts = self._counts[keep]
             self._block_ids = kept_ids
             self._block_sizes = kept_sizes
         fresh = updated + added
         if fresh:
-            self._matrix = np.vstack(
-                [self._matrix] + [r.vectors.astype(self.dtype, copy=False) for r in fresh]
+            matrix = np.vstack(
+                [matrix] + [r.vectors.astype(self.dtype, copy=False) for r in fresh]
             )
             self._counts = np.concatenate([self._counts] + [r.counts for r in fresh])
             for rel in fresh:
                 self._block_ids.append(rel.relation_id)
                 self._block_sizes.append(rel.n_unique)
                 self._block_cells[rel.relation_id] = rel.n_cells
+        if drop or fresh:
+            self._store_matrix(matrix)
         self._refresh_segments()
 
     def _blocks(self) -> list[tuple[str, int, int]]:
@@ -247,18 +278,18 @@ class ExhaustiveSearch(SearchMethod):
         the normalization is exact).  ``max_mean``: a segmented
         partition — the GEMM is already fused, only the per-segment
         top-fraction selection walks the blocks.
+
+        Delegates to :func:`repro.linalg.segment_scores` — the very
+        kernel process-backend shard workers run — so worker scores are
+        bitwise identical to this inline path.
         """
-        if self.aggregate == "mean":
-            return np.add.reduceat(sims * weights[:, np.newaxis], offsets, axis=0)
-        bounds = np.append(offsets, sims.shape[0])
-        # repro-lint: disable=RL003 -- deliberate float64 accumulator for segment means
-        scores = np.empty((len(offsets), sims.shape[1]), dtype=np.float64)
-        for i in range(len(offsets)):
-            seg = sims[bounds[i] : bounds[i + 1]]
-            keep = max(1, int(np.ceil(self.top_fraction * seg.shape[0])))
-            top = np.partition(seg, seg.shape[0] - keep, axis=0)
-            scores[i] = top[seg.shape[0] - keep :].mean(axis=0)
-        return scores
+        return segment_scores(
+            sims,
+            offsets,
+            weights,
+            aggregate=self.aggregate,
+            top_fraction=self.top_fraction,
+        )
 
     def _emit_matches(
         self, block_ids: Sequence[str], scores: np.ndarray
@@ -360,6 +391,38 @@ class ExhaustiveSearch(SearchMethod):
             return self._scan_fused(block)
         return self._scan_blocks(block, self._blocks())
 
+    # -- resident shard scans ----------------------------------------------
+
+    def scan_spec(self) -> ShardScanSpec | None:
+        """This method's fused-scan state for a worker process.
+
+        Only the fused kernel has a resident form; the legacy
+        per-relation loop (``fused=False``) returns ``None`` and the
+        sharded path falls back to in-process scans.
+        """
+        if not self.fused or self._matrix is None:
+            return None
+        spec = self._buffer.spec() if self._buffer is not None else None
+        return ShardScanSpec(
+            generation=self.embeddings.generation,
+            buffer=spec,
+            matrix=None if spec is not None else self._matrix,
+            offsets=self._offsets,
+            weights=self._row_weights,
+            aggregate=self.aggregate,
+            top_fraction=self.top_fraction,
+        )
+
+    def matches_from_scores(self, scores: np.ndarray) -> list[list[RelationMatch]]:
+        return self._emit_matches(self._block_ids, scores)
+
+    def close(self) -> None:
+        super().close()
+        buffer, self._buffer = self._buffer, None
+        self._matrix = None
+        if buffer is not None:
+            buffer.close()
+
     def _score_batch_parallel(
         self, queries: Sequence[str], workers: int
     ) -> list[list[RelationMatch]]:
@@ -377,17 +440,16 @@ class ExhaustiveSearch(SearchMethod):
         if len(chunks) < 2:
             return self._score_batch(queries)
         if self.fused:
-            with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-                parts = list(pool.map(lambda c: self._scan_fused(block, c), chunks))
+            parts = self._backend().map(
+                lambda c: self._scan_fused(block, c), chunks, cap=workers
+            )
         else:
             blocks = self._blocks()
-            with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-                parts = list(
-                    pool.map(
-                        lambda c: self._scan_blocks(block, [blocks[i] for i in c]),
-                        chunks,
-                    )
-                )
+            parts = self._backend().map(
+                lambda c: self._scan_blocks(block, [blocks[i] for i in c]),
+                chunks,
+                cap=workers,
+            )
         merged: list[list[RelationMatch]] = [[] for _ in queries]
         for part in parts:
             for b, matches in enumerate(part):

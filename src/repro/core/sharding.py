@@ -41,8 +41,8 @@ sharded semantics are per-shard (documented in the README).
 from __future__ import annotations
 
 import hashlib
+import itertools
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -51,6 +51,7 @@ from repro.core.base import SearchMethod
 from repro.core.results import RelationMatch
 from repro.core.semimg import FederationEmbeddings, RelationEmbedding
 from repro.errors import ConfigurationError
+from repro.exec import ExecutionBackend
 from repro.vectordb.collection import ScoredPoint
 
 __all__ = [
@@ -66,6 +67,10 @@ MethodFactory = Callable[[], SearchMethod]
 
 #: One shard's slice of a federation delta.
 ShardDelta = tuple[list[RelationEmbedding], list[RelationEmbedding], list[str]]
+
+#: Distinguishes scan-state keys of same-named sharded methods on one
+#: shared backend (an engine re-``index()`` builds a fresh wrapper).
+_SCAN_SCOPES = itertools.count()
 
 
 class ShardMap:
@@ -228,6 +233,11 @@ class ShardedSearch(SearchMethod):
         self._prototype = prototype if prototype is not None else factory()
         self.name = self._prototype.name
         self._shard_methods: list[SearchMethod | None] = [None] * store.n_shards
+        #: Shard -> generation of the scan state published to a
+        #: process backend's workers (empty unless the backend hosts
+        #: resident shard state).
+        self._published: dict[int, int] = {}
+        self._scan_scope = next(_SCAN_SCOPES)
 
     @property
     def shard_methods(self) -> list[SearchMethod | None]:
@@ -235,15 +245,21 @@ class ShardedSearch(SearchMethod):
         return list(self._shard_methods)
 
     def _build(self) -> None:
+        for method in self._shard_methods:
+            if method is not None:
+                method.close()
         self._shard_methods = [
             self._build_shard(i) if shard.n_relations else None
             for i, shard in enumerate(self._store.shards)
         ]
+        for shard in range(self._store.n_shards):
+            self._sync_worker(shard)
 
     def _build_shard(self, shard: int) -> SearchMethod:
         method = self._factory()
         method.name = f"{self.name}.shard{shard}"
         method.metrics = self.metrics
+        method.executor = self._backend()
         method.index(self._store.shards[shard])
         return method
 
@@ -253,6 +269,53 @@ class ShardedSearch(SearchMethod):
     def index_bytes(self) -> int:
         """Total resident bytes across live shard indexes."""
         return sum(method.index_bytes() for method in self._live())
+
+    # -- resident worker state ---------------------------------------------
+
+    def _scan_key(self, shard: int) -> str:
+        return f"{self.name}#{self._scan_scope}:{shard}"
+
+    def _scan_backend(self) -> ExecutionBackend | None:
+        """The backend hosting resident shard state, if ours does."""
+        backend = self._backend()
+        return backend if backend.supports_shard_scans else None
+
+    def _sync_worker(self, shard: int) -> None:
+        """Reconcile one shard's published worker state with its index.
+
+        Publishes the shard method's :meth:`scan_spec` when the
+        resident generation is stale (or state was never published),
+        drops it when the shard drained empty or the method has no
+        resident-scan form.  Runs at build and after every delta —
+        under the engine's writer lock, so a scan never races a swap.
+        """
+        backend = self._scan_backend()
+        if backend is None:
+            return
+        key = self._scan_key(shard)
+        method = self._shard_methods[shard]
+        spec = method.scan_spec() if method is not None else None
+        if spec is None:
+            if self._published.pop(shard, None) is not None:
+                backend.drop_shard(key)
+            return
+        if self._published.get(shard) == spec.generation:
+            return
+        backend.publish_shard(key, spec)
+        self._published[shard] = spec.generation
+
+    def close(self) -> None:
+        """Drop published worker state, close shard indexes (releasing
+        their shared buffers), then the base method resources."""
+        backend = self._executor if self._executor is not None else self._owned_executor
+        if backend is not None and backend.supports_shard_scans:
+            for shard in list(self._published):
+                backend.drop_shard(self._scan_key(shard))
+        self._published.clear()
+        for method in self._shard_methods:
+            if method is not None:
+                method.close()
+        super().close()
 
     # -- incremental lifecycle ---------------------------------------------
 
@@ -276,10 +339,13 @@ class ShardedSearch(SearchMethod):
             method = self._shard_methods[shard]
             if not self._store.shards[shard].n_relations:
                 self._shard_methods[shard] = None
+                if method is not None:
+                    method.close()
             elif method is None:
                 self._shard_methods[shard] = self._build_shard(shard)
             else:
                 method.apply_delta(to_add, to_update, to_remove)
+            self._sync_worker(shard)
 
     # -- scatter-gather ----------------------------------------------------
 
@@ -309,16 +375,59 @@ class ShardedSearch(SearchMethod):
         parts = [method._score_batch(queries) for method in self._live()]
         return self._gather_batch(len(queries), parts)
 
+    def _scan_resident(self, queries: Sequence[str]) -> list[list[RelationMatch]] | None:
+        """Scatter the encoded query block to worker-resident shards.
+
+        The fast path on a process backend: every live shard's scan
+        state already lives in a worker process (published at build /
+        delta time), so the batch crosses the pipe as one encoded
+        block per shard and only score matrices come back — no index
+        pickling, no GIL.  Returns ``None`` when the backend hosts no
+        resident state or any live shard lacks a published spec (e.g.
+        a ``fused=False`` prototype); callers then fall back to
+        in-process per-shard scans.
+        """
+        backend = self._scan_backend()
+        if backend is None:
+            return None
+        live_shards = [
+            shard
+            for shard, method in enumerate(self._shard_methods)
+            if method is not None
+        ]
+        if not live_shards or any(s not in self._published for s in live_shards):
+            return None
+        with self.metrics.timer(f"{self.name}.encode"):
+            block = np.stack([self.embeddings.encode_query(q) for q in queries])
+        dtype = getattr(self._prototype, "dtype", None)
+        if dtype is not None:
+            block = block.astype(dtype, copy=False)
+        block = np.ascontiguousarray(block)
+        scores = backend.scan_shards(
+            [(self._scan_key(s), self._published[s], block) for s in live_shards]
+        )
+        parts: list[list[list[RelationMatch]]] = []
+        for shard, shard_scores in zip(live_shards, scores):
+            method = self._shard_methods[shard]
+            assert method is not None
+            parts.append(method.matches_from_scores(shard_scores))
+        return self._gather_batch(len(queries), parts)
+
     def _score_batch_parallel(
         self, queries: Sequence[str], workers: int
     ) -> list[list[RelationMatch]]:
-        """One pool task per shard; the per-shard kernels release the
-        GIL inside BLAS, so shards scan concurrently."""
+        """One backend task per shard; on a thread backend the
+        per-shard kernels release the GIL inside BLAS, on a process
+        backend the scan runs in the workers holding resident state."""
         live = self._live()
         if len(live) < 2 or workers < 2:
             return self._score_batch(queries)
-        with ThreadPoolExecutor(max_workers=min(workers, len(live))) as pool:
-            parts = list(pool.map(lambda method: method._score_batch(queries), live))
+        resident = self._scan_resident(queries)
+        if resident is not None:
+            return resident
+        parts = self._backend().map(
+            lambda method: method._score_batch(queries), live, cap=workers
+        )
         return self._gather_batch(len(queries), parts)
 
 
@@ -413,10 +522,9 @@ class ShardedANNSearch(ShardedSearch):
             return self._score_batch(queries)
         block = self._encode_block(queries)
         budget = self._budget()
-        with ThreadPoolExecutor(max_workers=min(workers, len(shards))) as pool:
-            per_shard = list(
-                pool.map(lambda shard: shard.retrieve_batch(block, budget), shards)
-            )
+        per_shard = self._backend().map(
+            lambda shard: shard.retrieve_batch(block, budget), shards, cap=workers
+        )
         return self._gather_hits(len(queries), per_shard, budget)
 
     def _encode_block(self, queries: Sequence[str]) -> np.ndarray:

@@ -83,6 +83,13 @@ class ServingClosed(ServingError):
     """A request arrived after :meth:`ServingEngine.drain` stopped intake."""
 
 
+class ExecutionError(ReproError):
+    """An execution backend failed: a backend was used after
+    ``close()``, a shard worker process died or rejected a command, or
+    a scan referenced shard state that was never published (or whose
+    resident generation disagrees with the caller's)."""
+
+
 class DataGenerationError(ReproError):
     """Synthetic corpus or query generation failed."""
 

@@ -1,0 +1,43 @@
+"""The unified execution layer: pluggable parallel backends.
+
+One :class:`ExecutionBackend` per engine runs every parallel site the
+library has — query-chunk fan-outs, fused-scan row-range chunking,
+scatter-gather over shards and the serving dispatch pool:
+
+* :class:`InlineBackend` — serial, deterministic reference;
+* :class:`ThreadBackend` — one persistent sized thread pool (BLAS
+  releases the GIL), with per-call ``cap`` clamping;
+* :class:`ProcessBackend` — worker processes holding per-shard scan
+  state in shared memory behind command pipes, for sharded ExS scans
+  that escape the GIL entirely.
+
+:func:`resolve_backend` maps a name (or the ``REPRO_EXECUTOR``
+environment variable) to a backend.  The RL005 lint rule pins every
+raw ``ThreadPoolExecutor`` / ``ProcessPoolExecutor`` construction to
+this package, so "parallelism" stays one subsystem instead of a pile
+of per-call pools.
+"""
+
+from repro.exec.backend import (
+    EXECUTOR_ENV,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    ThreadBackend,
+    default_pool_size,
+    resolve_backend,
+)
+from repro.exec.shardscan import ResidentShard, ShardScanSpec, shard_worker_main
+
+__all__ = [
+    "EXECUTOR_ENV",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessBackend",
+    "ResidentShard",
+    "ShardScanSpec",
+    "ThreadBackend",
+    "default_pool_size",
+    "resolve_backend",
+    "shard_worker_main",
+]

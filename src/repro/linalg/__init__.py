@@ -1,4 +1,5 @@
-"""Numeric kernels shared across the library: distances, top-k, k-means."""
+"""Numeric kernels shared across the library: distances, top-k,
+k-means, segment reductions and shared-memory buffers."""
 
 from repro.linalg.distances import (
     Metric,
@@ -12,18 +13,30 @@ from repro.linalg.distances import (
     similarity,
 )
 from repro.linalg.kmeans import KMeans
+from repro.linalg.segment import segment_scores
+from repro.linalg.sharedbuf import (
+    BufferSpec,
+    SharedBuffer,
+    live_segment_names,
+    shared_memory_available,
+)
 from repro.linalg.topk import top_k_indices, top_k_indices_rowwise
 
 __all__ = [
+    "BufferSpec",
     "KMeans",
     "Metric",
+    "SharedBuffer",
     "cosine_similarity",
     "dot_similarity",
     "euclidean_distance",
+    "live_segment_names",
     "normalize_rows",
     "pairwise_distance",
     "pairwise_similarity",
     "row_norms",
+    "segment_scores",
+    "shared_memory_available",
     "similarity",
     "top_k_indices",
     "top_k_indices_rowwise",

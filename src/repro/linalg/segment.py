@@ -1,0 +1,52 @@
+"""Segment-reduced aggregation of fused similarity slabs.
+
+The ExS fused kernel computes one ``(rows, Q)`` GEMM over a stacked
+relation matrix; this function turns that slab into per-relation scores
+with a single ``np.add.reduceat`` segment reduction (``mean``) or a
+segmented partition (``max_mean``).
+
+It lives here in ``repro.linalg`` — below both ``repro.core`` and
+``repro.exec`` — because the exact same code must also run inside shard
+worker processes, which hold only the shared matrix, offsets and
+weights (never the ``ExhaustiveSearch`` object).  Sharing one function
+is what keeps parent-side and worker-side scores bitwise identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segment_scores"]
+
+
+def segment_scores(
+    sims: np.ndarray,
+    offsets: np.ndarray,
+    weights: np.ndarray,
+    aggregate: str = "mean",
+    top_fraction: float = 0.1,
+) -> np.ndarray:
+    """Per-relation scores of a fused ``(rows, Q)`` similarity slab.
+
+    ``offsets`` holds the start row of each relation block (the
+    ``np.add.reduceat`` offsets) and ``weights`` the pre-folded per-row
+    mean weights (float64, so the reduction upcasts float32 sims and
+    the normalization stays exact).
+
+    ``mean``: one segment reduction of the weight-folded similarities.
+    ``max_mean``: a segmented partition — the GEMM is already fused,
+    only the per-segment top-fraction selection walks the blocks.
+    """
+    if aggregate == "mean":
+        return np.add.reduceat(sims * weights[:, np.newaxis], offsets, axis=0)
+    if aggregate != "max_mean":
+        raise ValueError(f"unknown aggregate {aggregate!r}")
+    bounds = np.append(offsets, sims.shape[0])
+    # repro-lint: disable=RL003 -- deliberate float64 accumulator for segment means
+    scores = np.empty((len(offsets), sims.shape[1]), dtype=np.float64)
+    for i in range(len(offsets)):
+        seg = sims[bounds[i] : bounds[i + 1]]
+        keep = max(1, int(np.ceil(top_fraction * seg.shape[0])))
+        top = np.partition(seg, seg.shape[0] - keep, axis=0)
+        scores[i] = top[seg.shape[0] - keep :].mean(axis=0)
+    return scores

@@ -1,0 +1,259 @@
+"""Shared-memory numpy buffers with explicit ownership.
+
+A :class:`SharedBuffer` is a numpy array living in a named
+``multiprocessing.shared_memory`` segment, so worker processes can map
+the same bytes read-only at zero copy cost.  The abstraction carries
+three rules the process-backend scan path depends on:
+
+* **ownership** — the process that created a segment unlinks it; an
+  attached view only closes its mapping.  Handles are refcounted
+  (:meth:`addref` / :meth:`close`), and the owner's final ``close()``
+  both closes and unlinks, so "who frees this" is never ambiguous;
+* **tracker hygiene** — Python 3.10–3.12 double-register *attached*
+  segments with the ``multiprocessing`` resource tracker, which would
+  unlink the owner's segment when the attaching process exits.  The
+  attach path undoes that registration (3.13+ offers ``track=False``);
+* **fallback** — when shared memory is unavailable (or the caller asks
+  for a process-local buffer), the same API wraps an ordinary ndarray
+  and :meth:`spec` returns ``None``, so callers degrade to pickling
+  the array instead of crashing.
+
+The module keeps a registry of live *owned* segments
+(:func:`live_segment_names`) so tests can prove engine ``close()``
+leaks nothing, and an ``atexit`` hook force-releases whatever an
+unclosed owner left behind — the segment name must never outlive the
+process.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+try:  # pragma: no cover - stdlib on every supported platform
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - shared memory unavailable
+    resource_tracker = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+
+__all__ = [
+    "BufferSpec",
+    "SharedBuffer",
+    "live_segment_names",
+    "shared_memory_available",
+]
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """Everything needed to attach a segment from another process."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+_live_lock = threading.Lock()
+#: Owned segments not yet released, by segment name (leak accounting).
+_live: dict[str, "SharedBuffer"] = {}
+
+
+def shared_memory_available() -> bool:
+    """Whether named shared-memory segments exist on this platform."""
+    return shared_memory is not None
+
+
+def live_segment_names() -> list[str]:
+    """Names of owned segments not yet released (sorted).
+
+    An engine that built shared scan state and then ``close()``-d must
+    leave this empty — the leak test asserts exactly that.
+    """
+    with _live_lock:
+        return sorted(_live)
+
+
+def _forget_inherited() -> None:
+    """Drop registry entries inherited across a ``fork()``.
+
+    Called at worker-process startup: the forked copy of the registry
+    describes segments the *parent* owns, and a worker must neither
+    unlink them nor count them against its own leak accounting.
+    """
+    with _live_lock:
+        _live.clear()
+
+
+def _attach_segment(name: str) -> "shared_memory.SharedMemory":
+    assert shared_memory is not None
+    try:
+        # Python 3.13+: opt out of resource tracking at attach time.
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        pass
+    # 3.10-3.12 register attached segments with the resource tracker
+    # too, so the tracker would unlink the owner's segment when the
+    # attaching process exits.  Unregistering after the fact is wrong —
+    # a forked worker shares the parent's tracker, and the tracker's
+    # per-name bookkeeping is a set, so an unregister from the attacher
+    # erases the OWNER's registration.  Suppress the registration call
+    # instead: cleanup belongs to the creating process alone.
+    if resource_tracker is None:  # pragma: no cover - tracker always ships with shm
+        return shared_memory.SharedMemory(name=name)
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register  # type: ignore[assignment]
+
+
+class SharedBuffer:
+    """A numpy array over a named shared-memory segment (or a plain
+    process-local array when sharing is unavailable or unwanted).
+
+    Construct via :meth:`from_array` (owner side, copies the source
+    into a fresh segment) or :meth:`attach` (worker side, read-only
+    view over an owner's :class:`BufferSpec`).
+    """
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        segment: "shared_memory.SharedMemory | None",
+        owner: bool,
+    ) -> None:
+        self._array: np.ndarray | None = array
+        self._segment = segment
+        self._owner = owner
+        self._name = segment.name if segment is not None else None
+        self._refs = 1
+        self._lock = threading.Lock()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_array(cls, source: np.ndarray, shared: bool = True) -> "SharedBuffer":
+        """Copy ``source`` into a fresh owned buffer.
+
+        ``shared=True`` places the copy in a named segment when the
+        platform provides one and the array is non-empty (zero-size
+        segments are not representable); otherwise the buffer wraps an
+        ordinary process-local copy and :meth:`spec` returns ``None``.
+        """
+        source = np.ascontiguousarray(source)
+        if not shared or shared_memory is None or source.nbytes == 0:
+            return cls(np.array(source, dtype=source.dtype, copy=True), None, owner=True)
+        segment = shared_memory.SharedMemory(create=True, size=source.nbytes)
+        array: np.ndarray = np.ndarray(source.shape, dtype=source.dtype, buffer=segment.buf)
+        array[...] = source
+        buffer = cls(array, segment, owner=True)
+        with _live_lock:
+            _live[segment.name] = buffer
+        return buffer
+
+    @classmethod
+    def attach(cls, spec: BufferSpec) -> "SharedBuffer":
+        """A read-only view over a segment created in another process."""
+        if shared_memory is None:  # pragma: no cover - platform without shm
+            raise RuntimeError("shared memory is unavailable on this platform")
+        segment = _attach_segment(spec.name)
+        array: np.ndarray = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
+        array.flags.writeable = False
+        return cls(array, segment, owner=False)
+
+    # -- the view ----------------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        """The numpy view; invalid once the buffer is fully closed."""
+        if self._array is None:
+            raise ValueError("SharedBuffer used after close()")
+        return self._array
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    @property
+    def closed(self) -> bool:
+        return self._array is None
+
+    def spec(self) -> BufferSpec | None:
+        """How another process attaches this buffer; ``None`` for the
+        process-local fallback (callers then ship the array itself)."""
+        if self._segment is None or self._name is None:
+            return None
+        return BufferSpec(
+            name=self._name,
+            shape=tuple(self.array.shape),
+            dtype=str(self.array.dtype),
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def addref(self) -> "SharedBuffer":
+        """Share this handle; every ``addref()`` needs its own
+        :meth:`close`.  The segment is released at refcount zero."""
+        with self._lock:
+            if self._array is None:
+                raise ValueError("SharedBuffer used after close()")
+            self._refs += 1
+        return self
+
+    def close(self) -> None:
+        """Drop one reference; the last drop releases the mapping and —
+        on the owner — unlinks the segment name.  Idempotent once the
+        refcount reaches zero."""
+        with self._lock:
+            if self._array is None:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            self._array = None
+            segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        if self._owner and self._name is not None:
+            with _live_lock:
+                _live.pop(self._name, None)
+        try:
+            segment.close()
+        except BufferError:
+            # Some ndarray view of the mapping is still referenced; the
+            # mapping is freed when that view dies (worst case process
+            # exit).  The unlink below still removes the segment *name*,
+            # which is what leak accounting measures.
+            pass
+        if self._owner:
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+
+    def _force_close(self) -> None:
+        """Release regardless of outstanding refs (atexit safety net)."""
+        with self._lock:
+            self._refs = min(self._refs, 1)
+        self.close()
+
+
+def _release_leftovers() -> None:
+    """Unlink owned segments an unclosed owner left behind.
+
+    Registered at import: without this, a leaked segment's name would
+    survive in ``/dev/shm`` past process exit (the stdlib resource
+    tracker would eventually reap it, loudly; this reaps it quietly and
+    deterministically).
+    """
+    with _live_lock:
+        leftovers = list(_live.values())
+    for buffer in leftovers:
+        buffer._force_close()
+
+
+atexit.register(_release_leftovers)

@@ -1,10 +1,10 @@
 """The declared metric-name vocabulary of the serving stack.
 
-Every counter, gauge and stage timer the engine, the search methods and
-the vector database record lives in one of three families —
-``engine.*``, ``<method>.<stage>`` and ``vectordb.*`` — and this module
-is the single place those names are declared.  Two consumers keep the
-vocabulary honest:
+Every counter, gauge and stage timer the engine, the search methods,
+the execution backends and the vector database record lives in one of
+these families — ``engine.*``, ``<method>.<stage>``, ``serving.*``,
+``exec.*`` and ``vectordb.*`` — and this module is the single place
+those names are declared.  Two consumers keep the vocabulary honest:
 
 * the RL002 lint rule (:mod:`repro.analysis`) checks every literal or
   f-string metric name passed to a :class:`~repro.obs.MetricsRegistry`
@@ -38,6 +38,7 @@ _PLACEHOLDER_PATTERNS = {
     "shard": r"[0-9]+",
     "collection": r"[A-Za-z0-9_.-]+",
     "tenant": r"[A-Za-z0-9_-]+",
+    "backend": r"[a-z]+",
 }
 
 _PLACEHOLDER_RE = re.compile(r"\{([a-z]+)\}")
@@ -96,6 +97,11 @@ VOCABULARY: tuple[MetricSpec, ...] = (
     MetricSpec("serving.dispatch_ms", "histogram", "Engine time per dispatched window (ms)."),
     MetricSpec("serving.e2e_ms", "histogram", "Submit-to-result end-to-end latency (ms)."),
     MetricSpec("serving.tenant.{tenant}.throttled", "counter", "Rate-limit rejections, per tenant."),
+    # -- exec.* -----------------------------------------------------------
+    MetricSpec("exec.{backend}.tasks", "counter", "Tasks executed by the backend (submits + map lanes)."),
+    MetricSpec("exec.{backend}.pool_size", "gauge", "Worker threads/processes the backend is sized to."),
+    MetricSpec("exec.{backend}.queue_ms", "histogram", "Submit-to-start wait on the backend's pool (ms)."),
+    MetricSpec("exec.{backend}.shard_scans", "counter", "Resident shard scans served by worker processes."),
     # -- vectordb.* -------------------------------------------------------
     MetricSpec("vectordb.searches", "counter", "Collection searches (one per query, batched or not)."),
     MetricSpec("vectordb.batches", "counter", "Batched collection searches."),

@@ -33,11 +33,11 @@ from __future__ import annotations
 
 import asyncio
 import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any
 
 from repro.core.results import BatchResult, SearchResult
 from repro.errors import ConfigurationError, DeadlineExceeded, QueueFull, RateLimited, ServingClosed
+from repro.exec import ExecutionBackend, resolve_backend
 from repro.serving.admission import AdmissionController
 from repro.serving.batcher import BatchKey, MicroBatcher, PendingRequest
 from repro.serving.tenancy import DEFAULT_TENANT, RateLimit
@@ -73,6 +73,15 @@ class ServingEngine:
     batch_workers:
         ``workers=`` forwarded to ``search_batch`` inside a window
         (the engine-side scan pool).
+    executor:
+        The :class:`~repro.exec.ExecutionBackend` running window
+        dispatches.  ``None`` (default) lazily resolves a dedicated
+        backend sized to ``dispatch_workers`` — dedicated on purpose:
+        a dispatch task *blocks* on the engine's scan fan-out, so
+        sharing the engine's pool could queue a window behind the very
+        lane work it is waiting for.  Pass a backend to override; the
+        caller then owns its lifecycle (:meth:`drain` only closes a
+        backend serving created itself).
     default_limit / tenant_limits:
         Optional per-tenant token buckets
         (:class:`~repro.serving.tenancy.RateLimit`); ``None`` default
@@ -94,6 +103,7 @@ class ServingEngine:
         max_queue: int = 256,
         dispatch_workers: int = 2,
         batch_workers: int = 1,
+        executor: ExecutionBackend | None = None,
         default_limit: RateLimit | None = None,
         tenant_limits: "dict[str, RateLimit] | None" = None,
     ) -> None:
@@ -116,7 +126,8 @@ class ServingEngine:
         self._clock = time.monotonic
         self._state = "idle"  # idle -> running -> draining -> closed
         self._loop: asyncio.AbstractEventLoop | None = None
-        self._executor: ThreadPoolExecutor | None = None
+        self._executor: ExecutionBackend | None = executor
+        self._owns_executor = executor is None
         self._inflight: "set[asyncio.Future[BatchResult]]" = set()
         self._outstanding = 0
         self._closed_event: asyncio.Event | None = None
@@ -136,10 +147,13 @@ class ServingEngine:
         loop = asyncio.get_running_loop()
         if self._state == "idle":
             self._loop = loop
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.dispatch_workers,
-                thread_name_prefix="repro-serving",
-            )
+            if self._executor is None:
+                # Dedicated, not the engine's: a dispatch task blocks on
+                # the engine-side scan fan-out, and sharing one pool
+                # would let windows queue behind their own lane work.
+                self._executor = resolve_backend(
+                    "thread", max_workers=self.dispatch_workers, metrics=self.metrics
+                )
             self._closed_event = asyncio.Event()
             self._state = "running"
         elif self._loop is not loop:
@@ -178,8 +192,8 @@ class ServingEngine:
         self.batcher.flush_all()
         while self._inflight:
             await asyncio.gather(*list(self._inflight), return_exceptions=True)
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+        if self._executor is not None and self._owns_executor:
+            self._executor.close()
         self._state = "closed"
         assert self._closed_event is not None
         self._closed_event.set()
@@ -260,7 +274,9 @@ class ServingEngine:
         self.metrics.counter("serving.batches").inc()
         self.metrics.histogram("serving.batch_fill").observe(float(len(live)))
         assert self._loop is not None and self._executor is not None
-        task = self._loop.run_in_executor(self._executor, self._run_batch, key, live)
+        task = asyncio.wrap_future(
+            self._executor.submit(self._run_batch, key, live), loop=self._loop
+        )
         self._inflight.add(task)
         task.add_done_callback(lambda done, batch=live: self._deliver(batch, done))
 

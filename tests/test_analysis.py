@@ -1,4 +1,4 @@
-"""repro.analysis: framework, the four rules, the CLI and the clean-tree gate.
+"""repro.analysis: framework, the five rules, the CLI and the clean-tree gate.
 
 Each rule has a known-bad fixture under ``tests/data/lint_fixtures/``
 whose exact rule ids and line numbers are asserted here; the clean-tree
@@ -67,6 +67,18 @@ class TestRuleFixtures:
         report = check_fixture("rl004_bad.py")
         got = [(f.rule_id, f.line) for f in report.findings]
         assert got == [("RL004", 12), ("RL004", 16), ("RL004", 21)]
+
+    def test_rl005_executor_construction(self):
+        report = check_fixture("rl005_bad.py")
+        got = [(f.rule_id, f.line) for f in report.findings]
+        assert got == [("RL005", 11), ("RL005", 16)]
+        assert "ThreadPoolExecutor" in report.findings[0].message
+        assert "ProcessPoolExecutor" in report.findings[1].message
+
+    def test_rl005_home_package_is_exempt(self):
+        # The same source under repro/exec/ is the one legitimate home.
+        report = check_fixture("rl005_bad.py", "src/repro/exec/rl005_bad.py")
+        assert report.findings == ()
 
     def test_syntax_error_is_a_finding_not_a_crash(self):
         report = Analyzer().check_source("def broken(:\n", "x.py")
@@ -180,7 +192,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RL001", "RL002", "RL003", "RL004"):
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
             assert rule_id in out
 
     def test_bad_path_exits_two(self, capsys):
