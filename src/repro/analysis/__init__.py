@@ -24,6 +24,10 @@ encoding the real invariants:
   ``ProcessPoolExecutor`` only inside :mod:`repro.exec`; every other
   parallel site runs on the engine's
   :class:`~repro.exec.ExecutionBackend`.
+* **RL006 raw array persistence** — ``np.save`` / ``np.load`` /
+  ``np.memmap`` and friends only inside :mod:`repro.storage`; every
+  other persistence path goes through the checksummed, atomically
+  committed segment snapshot layer.
 
 The runtime complement (``REPRO_SANITIZE=1``) lives in
 :mod:`repro.sanitize` and :class:`repro.core.lifecycle.InstrumentedRWLock`.

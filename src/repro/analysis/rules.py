@@ -1,4 +1,4 @@
-"""The repo's invariants as lint rules (RL001-RL005).
+"""The repo's invariants as lint rules (RL001-RL006).
 
 Each rule encodes a convention the serving stack's correctness actually
 rests on; the module docstring of :mod:`repro.analysis` has the index.
@@ -21,6 +21,7 @@ __all__ = [
     "ExecutorConstructionRule",
     "LockDisciplineRule",
     "MetricsVocabularyRule",
+    "RawArrayPersistenceRule",
     "default_rules",
 ]
 
@@ -33,6 +34,7 @@ def default_rules() -> "tuple[Rule, ...]":
         DtypeDisciplineRule(),
         ConcurrencyHygieneRule(),
         ExecutorConstructionRule(),
+        RawArrayPersistenceRule(),
     )
 
 
@@ -565,3 +567,47 @@ class ExecutorConstructionRule(Rule):
                     "injected executor) so pools are persistent, metered "
                     "and closed with the engine",
                 )
+
+
+class RawArrayPersistenceRule(Rule):
+    """RL006: raw numpy array I/O happens only in ``repro.storage``.
+
+    Persistence goes through the segment snapshot layer — checksummed
+    payloads, atomic manifest commits, mmap-able raw bytes.  A stray
+    ``np.save`` / ``np.load`` / ``np.memmap`` anywhere else creates a
+    file no digest covers and no manifest commits: a torn write there
+    surfaces as garbage rankings, not a
+    :class:`~repro.errors.StorageError`.  Use
+    :class:`~repro.storage.SegmentWriter` / ``open_snapshot()`` (or the
+    quarantined ``repro.storage.npz`` legacy shims) instead; a
+    deliberate exception carries a suppression comment with its reason.
+    """
+
+    rule_id = "RL006"
+    title = "raw numpy array I/O only in repro.storage"
+
+    _CALLS = frozenset({"save", "savez", "savez_compressed", "load", "memmap"})
+    _HOME = "repro/storage/"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if self._HOME in module.posix_path:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._CALLS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")
+            ):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"np.{func.attr}() outside repro.storage — persist through "
+                "SegmentWriter/open_snapshot (checksummed, atomically "
+                "committed, mmap-able) so a torn write raises StorageError "
+                "instead of scoring garbage",
+            )

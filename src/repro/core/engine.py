@@ -51,10 +51,16 @@ from repro.datamodel.relation import Federation, Relation
 from repro.embedding.base import SentenceEncoder
 from repro.embedding.cache import CachingEncoder
 from repro.embedding.semantic import SemanticHashEncoder
-from repro.errors import ConfigurationError, NotFittedError
+from repro.errors import ConfigurationError, NotFittedError, StorageError
 from repro.exec import ExecutionBackend, resolve_backend
 from repro.obs import MetricsRegistry
 from repro.sanitize import sanitize_enabled
+from repro.storage import (
+    SegmentWriter,
+    is_snapshot,
+    live_mapped_nbytes,
+    open_snapshot,
+)
 
 if TYPE_CHECKING:  # circular at runtime: repro.serving wraps this engine
     from repro.serving import ServingEngine
@@ -63,6 +69,11 @@ __all__ = ["DiscoveryEngine"]
 
 #: Accepted shapes for the relation arguments of the lifecycle API.
 RelationsLike = Mapping[str, Relation] | Iterable[tuple[str, Relation]]
+
+#: ``meta["kind"]`` tag of a sharded index snapshot: a root manifest
+#: describing the shard layout plus one ``shard-<i>/`` sub-snapshot per
+#: shard, each an ordinary federation-embeddings snapshot.
+SHARDED_SNAPSHOT_KIND = "sharded-index"
 
 
 @guarded_by("_lifecycle_lock", "_embeddings", "_sharded", "_methods")
@@ -192,10 +203,13 @@ class DiscoveryEngine:
         """
         embeddings = build_federation_embeddings(federation, self.encoder)
         with self._lifecycle_lock.write():
+            old_store, old_sharded = self._embeddings, self._sharded
             self._embeddings = embeddings
             self._close_methods()
             self._sharded = self._partition(embeddings)
+            self._release_stores(old_store, old_sharded)
             self.metrics.gauge("engine.generation").set(embeddings.generation)
+            self.metrics.gauge("storage.mapped_bytes").set(float(live_mapped_nbytes()))
         return self
 
     def _partition(self, store: FederationEmbeddings) -> ShardedStore | None:
@@ -222,20 +236,162 @@ class DiscoveryEngine:
         return self._embeddings is not None
 
     def save_index(self, path: str | Path) -> None:
-        """Persist the federation embeddings (not the method indexes,
-        which rebuild quickly relative to re-embedding)."""
-        save_federation_embeddings(self.embeddings, path)
+        """Persist the federation embeddings as a segment snapshot (not
+        the method indexes, which rebuild quickly relative to
+        re-embedding).
 
-    def load_index(self, path: str | Path) -> "DiscoveryEngine":
+        Vectors are stored in this engine's scan ``dtype``, so a mapped
+        reload serves the exact bytes a cold build would compute.  A
+        sharded engine writes one ``shard-<i>/`` sub-snapshot per shard
+        plus a root manifest carrying the shard layout — committed
+        last, so a crash mid-save leaves the previous snapshot intact —
+        and a reload with the same ``(shards, shard_seed)`` adopts the
+        shard stores directly instead of re-partitioning.
+        """
+        path = Path(path)
+        with self._lifecycle_lock.read():
+            store = self.embeddings
+            if self._sharded is None:
+                save_federation_embeddings(
+                    store, path, dtype=self.dtype, metrics=self.metrics
+                )
+                return
+            for shard, shard_store in enumerate(self._sharded.shards):
+                save_federation_embeddings(
+                    shard_store,
+                    path / f"shard-{shard}",
+                    dtype=self.dtype,
+                    metrics=self.metrics,
+                )
+            writer = SegmentWriter(
+                path,
+                generation=store.generation,
+                meta={
+                    "kind": SHARDED_SNAPSHOT_KIND,
+                    "dim": int(self.encoder.dim),
+                    "dtype": self.dtype.name,
+                    "sharded": {
+                        "shards": self.shards,
+                        "seed": self.shard_seed,
+                        "relation_order": store.relation_ids(),
+                        "shard_generations": [
+                            s.generation for s in self._sharded.shards
+                        ],
+                    },
+                },
+                metrics=self.metrics,
+            )
+            writer.commit()
+
+    def _check_snapshot_dtype(self, meta: "dict[str, Any]", path: Path) -> None:
+        """A snapshot's stored dtype must match this engine's scan dtype.
+
+        Silently accepting a mismatch would either upcast every mapped
+        byte (losing the zero-copy load) or serve float32 ranks from an
+        engine promising float64 — both wrong quietly.
+        """
+        stored = meta.get("dtype")
+        if stored is not None and np.dtype(stored) != self.dtype:
+            raise ConfigurationError(
+                f"snapshot at {path} stores {np.dtype(stored).name} vectors but "
+                f"this engine is configured with dtype={self.dtype.name}; "
+                f"construct DiscoveryEngine(dtype={np.dtype(stored).name!r}) or "
+                "re-save the index from an engine with the desired dtype"
+            )
+
+    def _load_sharded_snapshot(
+        self, path: Path, meta: "dict[str, Any]", generation: int, mmap: bool
+    ) -> "tuple[FederationEmbeddings, ShardedStore | None]":
+        """Materialize a sharded snapshot: per-shard stores plus the
+        global store over the same relation objects.  When this engine's
+        shard layout matches the saved one, the shard stores (and their
+        mapped backings) are adopted as-is; otherwise the global store
+        is re-partitioned and the per-shard backings are released."""
+        info = meta["sharded"]
+        n_shards = int(info["shards"])
+        seed = int(info["seed"])
+        order = [str(rid) for rid in info["relation_order"]]
+        shard_stores = [
+            load_federation_embeddings(
+                path / f"shard-{shard}",
+                self.encoder,
+                mmap=mmap,
+                metrics=self.metrics,
+                allow_empty=True,
+            )
+            for shard in range(n_shards)
+        ]
+        expected = info.get("shard_generations")
+        if expected is not None:
+            for shard, (store, want) in enumerate(zip(shard_stores, expected)):
+                if store.generation != int(want):
+                    raise StorageError(
+                        f"shard-{shard} of snapshot {path} is at generation "
+                        f"{store.generation}, root manifest expects {want} — "
+                        "torn multi-shard save?"
+                    )
+        by_id = {
+            rel.relation_id: rel for store in shard_stores for rel in store.relations
+        }
+        if len(by_id) != len(order) or set(by_id) != set(order):
+            raise StorageError(
+                f"snapshot {path} shard contents disagree with the root "
+                "manifest's relation order"
+            )
+        build_seconds = max(
+            (store.build_seconds for store in shard_stores), default=0.0
+        )
+        loaded = FederationEmbeddings(
+            relations=[by_id[rid] for rid in order],
+            encoder=self.encoder,
+            build_seconds=build_seconds,
+            generation=generation,
+        )
+        if self.shards == n_shards and self.shard_seed == seed:
+            sharded = ShardedStore(loaded, ShardMap(n_shards, seed=seed), shards=shard_stores)
+            return loaded, sharded
+        # Different layout: the relations (still viewing the mapped
+        # pages) repartition under this engine's own shard map; the
+        # per-shard buffer handles are no longer anyone's to hold.
+        for store in shard_stores:
+            store.release_backing()
+        return loaded, self._partition(loaded)
+
+    def load_index(self, path: str | Path, mmap: bool = False) -> "DiscoveryEngine":
         """Restore embeddings saved by :meth:`save_index`.
 
         The engine must be configured with the same encoder settings
         that built the saved embeddings; a snapshot whose embedding
-        dimensionality disagrees with :attr:`encoder` is rejected with
-        a :class:`ConfigurationError` here rather than surfacing later
-        as a shape error deep inside a scan kernel.
+        dimensionality — or stored ``dtype`` — disagrees with this
+        engine is rejected with a :class:`ConfigurationError` here
+        rather than surfacing later as a shape error (or silent
+        precision change) deep inside a scan kernel.
+
+        ``mmap=True`` maps the vector segments read-only instead of
+        materializing them: the call returns in milliseconds with the
+        scan matrices backed by the snapshot files, pages faulting in
+        lazily on first access.  Rankings and scores are identical to
+        an eager load; on a process backend, shard workers map the same
+        files, so publishing scan state allocates no shared memory.
         """
-        loaded = load_federation_embeddings(path, self.encoder)
+        path = Path(path)
+        sharded: ShardedStore | None = None
+        if is_snapshot(path):
+            snapshot = open_snapshot(path, metrics=self.metrics)
+            self._check_snapshot_dtype(snapshot.meta, path)
+            if snapshot.meta.get("kind") == SHARDED_SNAPSHOT_KIND:
+                loaded, sharded = self._load_sharded_snapshot(
+                    path, snapshot.meta, snapshot.generation, mmap
+                )
+            else:
+                loaded = load_federation_embeddings(
+                    path, self.encoder, mmap=mmap, metrics=self.metrics
+                )
+        else:
+            # Legacy single-file .npz (or a StorageError for anything else).
+            loaded = load_federation_embeddings(
+                path, self.encoder, mmap=mmap, metrics=self.metrics
+            )
         if loaded.n_relations and loaded.dim != self.encoder.dim:
             raise ConfigurationError(
                 f"loaded embeddings are {loaded.dim}-dim but this engine's encoder "
@@ -244,11 +400,28 @@ class DiscoveryEngine:
             )
         # Same writer-side swap as index(): loading is a store mutation.
         with self._lifecycle_lock.write():
+            old_store, old_sharded = self._embeddings, self._sharded
             self._embeddings = loaded
             self._close_methods()
-            self._sharded = self._partition(loaded)
+            self._sharded = sharded if sharded is not None else self._partition(loaded)
+            if sharded is not None:
+                self._publish_shard_sizes(sharded)
+            self._release_stores(old_store, old_sharded)
             self.metrics.gauge("engine.generation").set(loaded.generation)
+            self.metrics.gauge("storage.mapped_bytes").set(float(live_mapped_nbytes()))
         return self
+
+    @staticmethod
+    def _release_stores(
+        store: "FederationEmbeddings | None", sharded: "ShardedStore | None"
+    ) -> None:
+        """Drop snapshot backings a retired store (and its shard
+        partitions) held; runs after the owning methods closed."""
+        if sharded is not None:
+            for shard_store in sharded.shards:
+                shard_store.release_backing()
+        if store is not None:
+            store.release_backing()
 
     def _make_method(self, name: str) -> SearchMethod:
         params = self.method_params.get(name, {})
@@ -337,6 +510,8 @@ class DiscoveryEngine:
         afterwards only with an injected, still-open backend."""
         with self._lifecycle_lock.write():
             self._close_methods()
+            self._release_stores(self._embeddings, self._sharded)
+            self.metrics.gauge("storage.mapped_bytes").set(float(live_mapped_nbytes()))
         if self._owns_executor:
             self._executor.close()
 

@@ -32,7 +32,7 @@ from repro.core.base import SearchMethod, even_chunks
 from repro.core.results import RelationMatch
 from repro.core.semimg import RelationEmbedding
 from repro.exec import ShardScanSpec
-from repro.linalg import SharedBuffer, segment_scores
+from repro.linalg import ArrayBuffer, SharedBuffer, segment_scores
 from repro.sanitize import guard_operands
 
 __all__ = ["ExhaustiveSearch"]
@@ -101,7 +101,7 @@ class ExhaustiveSearch(SearchMethod):
             raise ValueError("dtype must be float32 or float64")
         self.shared_buffers = shared_buffers
         self._matrix: np.ndarray | None = None
-        self._buffer: SharedBuffer | None = None
+        self._buffer: ArrayBuffer | None = None
         self._counts: np.ndarray | None = None
         self._block_ids: list[str] = []
         self._block_sizes: list[int] = []
@@ -128,17 +128,47 @@ class ExhaustiveSearch(SearchMethod):
         """
         stacked = stacked.astype(self.dtype, copy=False)
         if not self.shared_buffers:
+            # A previously adopted snapshot backing is stale once the
+            # layout changed; drop our reference along with the swap.
+            old, self._buffer = self._buffer, None
             self._matrix = stacked
+            if old is not None:
+                old.close()
             return
         old, self._buffer = self._buffer, SharedBuffer.from_array(stacked)
         self._matrix = self._buffer.array
         if old is not None:
             old.close()
 
+    def _adopt_backing(self) -> bool:
+        """Serve directly off the store's snapshot backing when possible.
+
+        A store materialized from a segment snapshot already holds the
+        stacked matrix — eagerly or as a read-only mapping — so
+        re-stacking it would copy every byte for nothing.  Adoption
+        needs the dtypes to agree and, in ``shared_buffers`` mode, a
+        cross-process :meth:`~repro.linalg.ArrayBuffer.spec` (a mapped
+        file qualifies: workers map the same segment and no
+        ``shared_memory`` is allocated at all).  An eager process-local
+        backing under a process backend falls back to the copy path so
+        workers still get a shareable segment.
+        """
+        backing = self.embeddings.stack_buffer()
+        if backing is None or backing.array.dtype != self.dtype:
+            return False
+        if self.shared_buffers and backing.spec() is None:
+            return False
+        old, self._buffer = self._buffer, backing.addref()
+        self._matrix = backing.array
+        if old is not None:
+            old.close()
+        return True
+
     def _build(self) -> None:
         # Stack every relation's vectors once; queries scan the blocks.
         relations = self.embeddings.relations
-        self._store_matrix(np.vstack([r.vectors for r in relations]))
+        if not self._adopt_backing():
+            self._store_matrix(np.vstack([r.vectors for r in relations]))
         self._counts = np.concatenate([r.counts for r in relations])
         self._block_ids = [r.relation_id for r in relations]
         self._block_sizes = [r.n_unique for r in relations]

@@ -16,7 +16,7 @@ at a fraction of the memory.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -25,6 +25,10 @@ from repro.datamodel.relation import Federation, Relation
 from repro.embedding.base import SentenceEncoder
 from repro.errors import ConfigurationError
 from repro.linalg.distances import normalize_rows
+from repro.linalg.sharedbuf import ArrayBuffer, PlainBuffer
+from repro.obs import MetricsRegistry
+from repro.storage import SegmentSnapshot, SegmentWriter, open_snapshot
+from repro.storage import npz as legacy_npz
 
 __all__ = [
     "RelationEmbedding",
@@ -33,6 +37,7 @@ __all__ = [
     "build_federation_embeddings",
     "load_federation_embeddings",
     "save_federation_embeddings",
+    "save_federation_embeddings_npz",
 ]
 
 
@@ -145,6 +150,14 @@ class FederationEmbeddings:
     #: :class:`~repro.core.sharding.ShardedStore` can legitimately own
     #: no relations when a delta retires a shard's last one.
     allow_empty: bool = False
+    #: Zero-copy backing of the stacked value matrix, when the store was
+    #: materialized from a snapshot: ``(buffer, generation-at-adoption)``.
+    #: Valid only while :attr:`generation` still equals the adoption
+    #: generation — any delta re-stacks, so consumers must go through
+    #: :meth:`stack_buffer`, which returns ``None`` once stale.
+    stack_backing: "tuple[ArrayBuffer, int] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def dim(self) -> int:
@@ -251,16 +264,103 @@ class FederationEmbeddings:
         )
         return matrix, owner
 
+    # -- snapshot backing ------------------------------------------------
+
+    def adopt_backing(self, buffer: ArrayBuffer) -> None:
+        """Take ownership of the snapshot buffer the relation vectors
+        view (the store's reference; consumers :meth:`~repro.linalg.
+        ArrayBuffer.addref` their own)."""
+        self.release_backing()
+        self.stack_backing = (buffer, self.generation)
+
+    def stack_buffer(self) -> "ArrayBuffer | None":
+        """The stacked-matrix backing, while it still reflects this
+        store's generation; ``None`` once any delta invalidated it."""
+        if self.stack_backing is None:
+            return None
+        buffer, adopted_at = self.stack_backing
+        return buffer if adopted_at == self.generation else None
+
+    def release_backing(self) -> None:
+        """Drop the store's reference to its snapshot backing.  The
+        underlying pages survive as long as any relation vectors or
+        scan-method views still reference them."""
+        backing, self.stack_backing = self.stack_backing, None
+        if backing is not None:
+            backing[0].close()
+
+
+#: ``meta["kind"]`` tag of a federation-embeddings snapshot.
+SNAPSHOT_KIND = "federation-embeddings"
+
 
 def save_federation_embeddings(
-    embeddings: FederationEmbeddings, path: "str | Path"
+    embeddings: FederationEmbeddings,
+    path: "str | Path",
+    dtype: "str | np.dtype | type | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> None:
-    """Persist federation embeddings to one ``.npz`` file.
+    """Persist federation embeddings as one segment snapshot directory.
 
     Vectorizing is the expensive offline step; persisting it lets a
     deployment embed once and serve many sessions.  The encoder itself
     is not stored — load with the same encoder configuration so query
     vectors stay in the same space.
+
+    Layout: one ``vectors`` segment holding *all* relations' unit
+    vectors stacked (in ``dtype``, default the embeddings' native
+    float32 — an engine passes its scan dtype so a mapped load serves
+    the exact bytes a cold build would compute), ``counts`` and
+    ``block_sizes`` side arrays, and a ``relations`` JSON document with
+    ids, cell values and attribute names.  The stacked layout is what
+    makes ``mmap=True`` loads zero-copy: the mapped file *is* the ExS
+    scan matrix.
+    """
+    target = np.dtype(dtype) if dtype is not None else np.dtype(np.float32)
+    relations = embeddings.relations
+    dim = embeddings.dim if relations else embeddings.encoder.dim
+    if relations:
+        stack = np.vstack([r.vectors for r in relations]).astype(target, copy=False)
+        counts = np.concatenate([r.counts for r in relations]).astype(np.int64, copy=False)
+    else:
+        stack = np.empty((0, dim), dtype=target)
+        counts = np.empty(0, dtype=np.int64)
+    writer = SegmentWriter(
+        path,
+        generation=embeddings.generation,
+        meta={
+            "kind": SNAPSHOT_KIND,
+            "dim": int(dim),
+            "dtype": target.name,
+            "n_relations": len(relations),
+            "build_seconds": float(embeddings.build_seconds),
+        },
+        metrics=metrics,
+    )
+    writer.add_array("vectors", stack)
+    writer.add_array("counts", counts)
+    writer.add_array(
+        "block_sizes", np.array([r.n_unique for r in relations], dtype=np.int64)
+    )
+    writer.add_json(
+        "relations",
+        {
+            "ids": [r.relation_id for r in relations],
+            "values": [list(r.values) for r in relations],
+            "names": [list(r.attr_names) for r in relations],
+        },
+    )
+    writer.commit()
+
+
+def save_federation_embeddings_npz(
+    embeddings: FederationEmbeddings, path: "str | Path"
+) -> None:
+    """The retired single-file ``.npz`` layout (one array per relation).
+
+    Kept for two consumers only: the compat tests proving old snapshots
+    still load, and the cold-start benchmark's decompress-everything
+    baseline.  New code saves segment snapshots.
     """
     arrays: dict[str, np.ndarray] = {
         "relation_ids": np.array([r.relation_id for r in embeddings.relations]),
@@ -272,45 +372,121 @@ def save_federation_embeddings(
         arrays[f"counts_{i}"] = rel.counts
         arrays[f"values_{i}"] = np.array(rel.values)
         arrays[f"names_{i}"] = np.array(rel.attr_names)
-    np.savez_compressed(path, **arrays)
+    legacy_npz.save_npz(path, arrays)
 
 
-def load_federation_embeddings(
-    path: "str | Path", encoder: SentenceEncoder
+def _check_dim(stored_dim: int, encoder: SentenceEncoder) -> None:
+    if stored_dim != encoder.dim:
+        raise ConfigurationError(
+            f"stored embeddings are {stored_dim}-dim but the "
+            f"encoder produces {encoder.dim}-dim vectors"
+        )
+
+
+def _load_snapshot(
+    snapshot: SegmentSnapshot,
+    encoder: SentenceEncoder,
+    mmap: bool,
+    allow_empty: bool,
 ) -> FederationEmbeddings:
-    """Restore embeddings saved by :func:`save_federation_embeddings`.
-
-    ``encoder`` must match the configuration used when building; a
-    dimensionality mismatch is rejected immediately.
-    """
-    with np.load(path, allow_pickle=False) as data:
-        relation_ids = [str(r) for r in data["relation_ids"]]
-        # Older snapshots predate these fields; default rather than fail.
-        build_seconds = float(data["build_seconds"][0]) if "build_seconds" in data else 0.0
-        generation = int(data["generation"][0]) if "generation" in data else 0
-        relations = []
-        for i, relation_id in enumerate(relation_ids):
-            vectors = data[f"vectors_{i}"]
-            if vectors.shape[1] != encoder.dim:
-                raise ConfigurationError(
-                    f"stored embeddings are {vectors.shape[1]}-dim but the "
-                    f"encoder produces {encoder.dim}-dim vectors"
-                )
-            relations.append(
-                RelationEmbedding(
-                    relation_id=relation_id,
-                    values=tuple(str(v) for v in data[f"values_{i}"]),
-                    attr_names=tuple(str(n) for n in data[f"names_{i}"]),
-                    vectors=vectors,
-                    counts=data[f"counts_{i}"],
-                )
+    meta = snapshot.meta
+    if meta.get("kind") != SNAPSHOT_KIND:
+        raise ConfigurationError(
+            f"snapshot at {snapshot.path} is a {meta.get('kind')!r} snapshot, "
+            f"not {SNAPSHOT_KIND!r}"
+        )
+    _check_dim(int(meta["dim"]), encoder)
+    doc = snapshot.json("relations")
+    counts = snapshot.array("counts")
+    sizes = snapshot.array("block_sizes")
+    backing: ArrayBuffer = (
+        snapshot.mapped("vectors") if mmap else PlainBuffer(snapshot.array("vectors"))
+    )
+    matrix = backing.array
+    relations: list[RelationEmbedding] = []
+    start = 0
+    for i, relation_id in enumerate(doc["ids"]):
+        stop = start + int(sizes[i])
+        relations.append(
+            RelationEmbedding(
+                relation_id=str(relation_id),
+                values=tuple(str(v) for v in doc["values"][i]),
+                attr_names=tuple(str(n) for n in doc["names"][i]),
+                vectors=matrix[start:stop],
+                counts=counts[start:stop],
             )
+        )
+        start = stop
+    embeddings = FederationEmbeddings(
+        relations=relations,
+        encoder=encoder,
+        build_seconds=float(meta.get("build_seconds", 0.0)),
+        generation=snapshot.generation,
+        allow_empty=allow_empty,
+    )
+    embeddings.adopt_backing(backing)
+    return embeddings
+
+
+def _load_legacy_npz(path: Path, encoder: SentenceEncoder) -> FederationEmbeddings:
+    data = legacy_npz.load_npz(path)
+    relation_ids = [str(r) for r in data["relation_ids"]]
+    # Older snapshots predate these fields; default rather than fail.
+    build_seconds = float(data["build_seconds"][0]) if "build_seconds" in data else 0.0
+    generation = int(data["generation"][0]) if "generation" in data else 0
+    relations = []
+    for i, relation_id in enumerate(relation_ids):
+        vectors = data[f"vectors_{i}"]
+        _check_dim(vectors.shape[1], encoder)
+        relations.append(
+            RelationEmbedding(
+                relation_id=relation_id,
+                values=tuple(str(v) for v in data[f"values_{i}"]),
+                attr_names=tuple(str(n) for n in data[f"names_{i}"]),
+                vectors=vectors,
+                counts=data[f"counts_{i}"],
+            )
+        )
     return FederationEmbeddings(
         relations=relations,
         encoder=encoder,
         build_seconds=build_seconds,
         generation=generation,
     )
+
+
+def load_federation_embeddings(
+    path: "str | Path",
+    encoder: SentenceEncoder,
+    mmap: bool = False,
+    metrics: "MetricsRegistry | None" = None,
+    allow_empty: bool = False,
+) -> FederationEmbeddings:
+    """Restore embeddings saved by :func:`save_federation_embeddings`.
+
+    ``encoder`` must match the configuration used when building; a
+    dimensionality mismatch is rejected immediately.
+
+    ``mmap=True`` memory-maps the stacked ``vectors`` segment read-only
+    instead of materializing it: the call returns in milliseconds with
+    every relation's ``vectors`` a zero-copy view into the mapping, and
+    data pages fault in lazily on first scan.  Eager loads verify the
+    full crc32 digests; mapped loads check payload sizes only (hashing
+    would page everything in).  Legacy single-file ``.npz`` snapshots
+    still load eagerly — ``mmap=True`` on one is a
+    :class:`ConfigurationError` since a compressed archive cannot be
+    mapped.
+    """
+    path = Path(path)
+    if legacy_npz.is_npz(path):
+        if mmap:
+            raise ConfigurationError(
+                f"{path} is a legacy compressed .npz snapshot and cannot be "
+                "memory-mapped; re-save it as a segment snapshot for mmap loads"
+            )
+        return _load_legacy_npz(path, encoder)
+    snapshot = open_snapshot(path, metrics=metrics)
+    return _load_snapshot(snapshot, encoder, mmap=mmap, allow_empty=allow_empty)
 
 
 def build_federation_embeddings(

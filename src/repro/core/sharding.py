@@ -136,10 +136,37 @@ class ShardedStore:
     shard with nothing.
     """
 
-    def __init__(self, store: FederationEmbeddings, shard_map: ShardMap) -> None:
+    def __init__(
+        self,
+        store: FederationEmbeddings,
+        shard_map: ShardMap,
+        shards: "list[FederationEmbeddings] | None" = None,
+    ) -> None:
         self.store = store
         self.shard_map = shard_map
-        self.shards: list[FederationEmbeddings] = [
+        if shards is not None:
+            # Adopt pre-partitioned shard stores — the snapshot reload
+            # path, where each shard directory materialized (or mapped)
+            # its own store and re-partitioning from the global store
+            # would throw those per-shard backings away.  Placement must
+            # agree with the shard map or scatter-gather would misroute
+            # deltas.
+            if len(shards) != shard_map.n_shards:
+                raise ConfigurationError(
+                    f"got {len(shards)} prebuilt shard stores for a "
+                    f"{shard_map.n_shards}-shard map"
+                )
+            for index, shard in enumerate(shards):
+                for relation in shard.relations:
+                    owner = shard_map.shard_of(relation.relation_id)
+                    if owner != index:
+                        raise ConfigurationError(
+                            f"relation {relation.relation_id!r} sits on shard "
+                            f"{index} but the shard map places it on {owner}"
+                        )
+            self.shards: list[FederationEmbeddings] = list(shards)
+            return
+        self.shards = [
             FederationEmbeddings(relations=[], encoder=store.encoder, allow_empty=True)
             for _ in range(shard_map.n_shards)
         ]

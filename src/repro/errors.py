@@ -83,6 +83,13 @@ class ServingClosed(ServingError):
     """A request arrived after :meth:`ServingEngine.drain` stopped intake."""
 
 
+class StorageError(ReproError):
+    """A persisted snapshot is unreadable or fails integrity checks: a
+    missing or malformed manifest, a segment file whose size disagrees
+    with the manifest (torn write), or a payload whose digest does not
+    match the committed checksum (corruption)."""
+
+
 class ExecutionError(ReproError):
     """An execution backend failed: a backend was used after
     ``close()``, a shard worker process died or rejected a command, or

@@ -3,7 +3,8 @@
 A :class:`ShardScanSpec` is everything a worker process needs to scan
 one shard's fused ExS state: the stacked matrix (as a
 :class:`~repro.linalg.sharedbuf.BufferSpec` naming a shared-memory
-segment, or the raw array when no segment exists), the ``reduceat``
+segment or — ``kind="mmap"`` — a committed segment file the worker
+maps read-only, or the raw array when neither exists), the ``reduceat``
 offsets, the pre-folded mean weights and the aggregation knobs —
 stamped with the shard store's monotone ``generation`` so stale state
 is detectable.
@@ -40,7 +41,8 @@ import numpy as np
 from repro.errors import ExecutionError
 from repro.linalg import sharedbuf
 from repro.linalg.segment import segment_scores
-from repro.linalg.sharedbuf import BufferSpec, SharedBuffer
+from repro.linalg.sharedbuf import ArrayBuffer, BufferSpec, SharedBuffer
+from repro.storage.mapped import MappedBuffer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.connection import Connection
@@ -76,9 +78,16 @@ class ResidentShard:
 
     def __init__(self, spec: ShardScanSpec) -> None:
         self.spec = spec
-        self._view: SharedBuffer | None = None
+        self._view: ArrayBuffer | None = None
         if spec.buffer is not None:
-            self._view = SharedBuffer.attach(spec.buffer)
+            # Dispatch on the spec's transport: a "shm" spec attaches a
+            # shared-memory segment, an "mmap" spec maps the committed
+            # segment file the parent itself serves from — zero bytes
+            # copied, one page-cache image shared by every process.
+            if spec.buffer.kind == "mmap":
+                self._view = MappedBuffer.attach(spec.buffer)
+            else:
+                self._view = SharedBuffer.attach(spec.buffer)
             self.matrix = self._view.array
         else:
             assert spec.matrix is not None

@@ -15,7 +15,9 @@ from repro.linalg.distances import (
 from repro.linalg.kmeans import KMeans
 from repro.linalg.segment import segment_scores
 from repro.linalg.sharedbuf import (
+    ArrayBuffer,
     BufferSpec,
+    PlainBuffer,
     SharedBuffer,
     live_segment_names,
     shared_memory_available,
@@ -23,9 +25,11 @@ from repro.linalg.sharedbuf import (
 from repro.linalg.topk import top_k_indices, top_k_indices_rowwise
 
 __all__ = [
+    "ArrayBuffer",
     "BufferSpec",
     "KMeans",
     "Metric",
+    "PlainBuffer",
     "SharedBuffer",
     "cosine_similarity",
     "dot_similarity",

@@ -30,6 +30,7 @@ from __future__ import annotations
 import atexit
 import threading
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -40,7 +41,9 @@ except ImportError:  # pragma: no cover - shared memory unavailable
     shared_memory = None  # type: ignore[assignment]
 
 __all__ = [
+    "ArrayBuffer",
     "BufferSpec",
+    "PlainBuffer",
     "SharedBuffer",
     "live_segment_names",
     "shared_memory_available",
@@ -49,11 +52,44 @@ __all__ = [
 
 @dataclass(frozen=True)
 class BufferSpec:
-    """Everything needed to attach a segment from another process."""
+    """Everything needed to attach a buffer from another process.
+
+    ``kind`` selects the transport: ``"shm"`` names a
+    ``multiprocessing.shared_memory`` segment, ``"mmap"`` names a
+    committed segment *file* (``name`` is then its filesystem path)
+    that the attaching process memory-maps read-only.  One picklable
+    spec type flows through the worker command pipe either way.
+    """
 
     name: str
     shape: tuple[int, ...]
     dtype: str
+    kind: str = "shm"
+
+
+@runtime_checkable
+class ArrayBuffer(Protocol):
+    """The one buffer abstraction every scan path speaks.
+
+    Implementations — :class:`SharedBuffer` (named shared memory),
+    :class:`~repro.storage.MappedBuffer` (a memory-mapped segment
+    file) and :class:`PlainBuffer` (an ordinary process-local array) —
+    share refcounted ownership (:meth:`addref` / :meth:`close`) and a
+    :meth:`spec` that says how *another process* reaches the same
+    bytes (``None`` when it cannot; callers then ship the array).
+    """
+
+    @property
+    def array(self) -> np.ndarray: ...
+
+    @property
+    def nbytes(self) -> int: ...
+
+    def spec(self) -> "BufferSpec | None": ...
+
+    def addref(self) -> "ArrayBuffer": ...
+
+    def close(self) -> None: ...
 
 
 _live_lock = threading.Lock()
@@ -158,6 +194,8 @@ class SharedBuffer:
     @classmethod
     def attach(cls, spec: BufferSpec) -> "SharedBuffer":
         """A read-only view over a segment created in another process."""
+        if spec.kind != "shm":
+            raise ValueError(f"SharedBuffer cannot attach a {spec.kind!r} spec")
         if shared_memory is None:  # pragma: no cover - platform without shm
             raise RuntimeError("shared memory is unavailable on this platform")
         segment = _attach_segment(spec.name)
@@ -240,6 +278,55 @@ class SharedBuffer:
         with self._lock:
             self._refs = min(self._refs, 1)
         self.close()
+
+
+class PlainBuffer:
+    """An :class:`ArrayBuffer` over an ordinary process-local ndarray.
+
+    The degenerate transport: :meth:`spec` is ``None`` (another process
+    cannot reach these bytes by name), but the refcounted handle lets
+    eager snapshot loads hand their stacked matrix to a scan method
+    without copying — the same adoption contract a
+    :class:`~repro.storage.MappedBuffer` satisfies for mapped loads.
+    """
+
+    def __init__(self, array: np.ndarray) -> None:
+        self._array: np.ndarray | None = np.asarray(array)  # repro-lint: disable=RL003 -- adopts the caller's dtype verbatim; coercing would break the zero-copy contract
+        self._refs = 1
+        self._lock = threading.Lock()
+
+    @property
+    def array(self) -> np.ndarray:
+        if self._array is None:
+            raise ValueError("PlainBuffer used after close()")
+        return self._array
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    @property
+    def closed(self) -> bool:
+        return self._array is None
+
+    def spec(self) -> BufferSpec | None:
+        return None
+
+    def addref(self) -> "PlainBuffer":
+        with self._lock:
+            if self._array is None:
+                raise ValueError("PlainBuffer used after close()")
+            self._refs += 1
+        return self
+
+    def close(self) -> None:
+        with self._lock:
+            if self._array is None:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            self._array = None
 
 
 def _release_leftovers() -> None:

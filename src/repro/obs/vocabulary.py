@@ -3,7 +3,8 @@
 Every counter, gauge and stage timer the engine, the search methods,
 the execution backends and the vector database record lives in one of
 these families — ``engine.*``, ``<method>.<stage>``, ``serving.*``,
-``exec.*`` and ``vectordb.*`` — and this module is the single place
+``exec.*``, ``storage.*`` and ``vectordb.*`` — and this module is the
+single place
 those names are declared.  Two consumers keep the vocabulary honest:
 
 * the RL002 lint rule (:mod:`repro.analysis`) checks every literal or
@@ -102,6 +103,11 @@ VOCABULARY: tuple[MetricSpec, ...] = (
     MetricSpec("exec.{backend}.pool_size", "gauge", "Worker threads/processes the backend is sized to."),
     MetricSpec("exec.{backend}.queue_ms", "histogram", "Submit-to-start wait on the backend's pool (ms)."),
     MetricSpec("exec.{backend}.shard_scans", "counter", "Resident shard scans served by worker processes."),
+    # -- storage.* --------------------------------------------------------
+    MetricSpec("storage.commit_ms", "histogram", "Snapshot commit latency: payload fsyncs + atomic manifest swap (ms)."),
+    MetricSpec("storage.load_ms", "histogram", "Per-payload snapshot read latency: digest-verified materialization or mmap setup (ms)."),
+    MetricSpec("storage.mapped_bytes", "gauge", "Bytes currently served through memory-mapped segment files."),
+    MetricSpec("storage.segments", "gauge", "Payload files (arrays + documents) in the most recently committed snapshot."),
     # -- vectordb.* -------------------------------------------------------
     MetricSpec("vectordb.searches", "counter", "Collection searches (one per query, batched or not)."),
     MetricSpec("vectordb.batches", "counter", "Batched collection searches."),

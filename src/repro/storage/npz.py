@@ -1,0 +1,41 @@
+"""The legacy ``.npz`` adapter — the only sanctioned raw numpy I/O.
+
+Before the segment format, every persistence path wrote its own
+``np.savez_compressed`` file.  Those snapshots must keep loading, and
+the cold-start benchmark needs the compressed-archive baseline to
+measure against — so the raw ``np.savez``/``np.load`` calls live here,
+inside ``repro.storage`` where the RL006 lint rule allows them, and
+nowhere else.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["is_npz", "load_npz", "save_npz"]
+
+
+def is_npz(path: "str | Path") -> bool:
+    """Whether ``path`` is a legacy single-file archive (PK zip magic)."""
+    path = Path(path)
+    if not path.is_file():
+        return False
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(2) == b"PK"
+    except OSError:
+        return False
+
+
+def save_npz(path: "str | Path", arrays: Mapping[str, np.ndarray]) -> None:
+    """Write one compressed legacy archive (benchmark baseline only)."""
+    np.savez_compressed(path, **arrays)
+
+
+def load_npz(path: "str | Path") -> "dict[str, np.ndarray]":
+    """Read every array of a legacy archive eagerly."""
+    with np.load(path, allow_pickle=False) as data:
+        return {name: data[name] for name in data.files}

@@ -4,17 +4,23 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
 from repro.errors import CollectionExistsError, CollectionNotFoundError
 from repro.linalg.distances import Metric
 from repro.obs import MetricsRegistry
+from repro.storage import SegmentWriter, is_snapshot, open_snapshot
+from repro.storage import npz as legacy_npz
 from repro.vectordb.collection import Collection, Point
 
 __all__ = ["VectorDatabase"]
 
 _MANIFEST = "manifest.json"
+
+#: ``meta["kind"]`` tag of a vector-database snapshot.
+SNAPSHOT_KIND = "vectordb"
 
 
 class VectorDatabase:
@@ -73,37 +79,70 @@ class VectorDatabase:
     # -- persistence -------------------------------------------------------
 
     def save(self, directory: str | Path) -> None:
-        """Snapshot every collection into ``directory``.
+        """Snapshot every collection into ``directory`` as one atomic
+        segment commit.
 
-        Layout: ``manifest.json`` plus one ``<name>.npz`` (vectors) and
-        ``<name>.payloads.json`` (ids + payloads) per collection.
-        Attached ANN indexes are not persisted — they are cheap to
-        rebuild relative to re-embedding, and rebuilding keeps the
-        snapshot format independent of index internals.
+        Layout: a :mod:`repro.storage` snapshot whose manifest carries
+        each collection's config, with one ``<name>.vectors`` array
+        segment and one ``<name>.payloads`` JSON document per
+        collection.  The manifest is replaced last, so a crash mid-save
+        leaves the previous snapshot fully readable — never a manifest
+        pointing at half-written vectors.  Attached ANN indexes are not
+        persisted — they are cheap to rebuild relative to re-embedding,
+        and rebuilding keeps the snapshot format independent of index
+        internals.
         """
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        manifest = {}
+        collections: dict[str, dict[str, Any]] = {}
+        writer = SegmentWriter(
+            directory,
+            meta={"kind": SNAPSHOT_KIND, "collections": collections},
+            metrics=self.metrics,
+        )
         for name, collection in self._collections.items():
-            manifest[name] = {
+            collections[name] = {
                 "dim": collection.dim,
                 "metric": collection.metric.value,
                 "dtype": collection.dtype.name,
                 "index": collection.index_kind.value if collection.index_kind else None,
             }
-            np.savez_compressed(directory / f"{name}.npz", vectors=collection.vectors)
+            writer.add_array(f"{name}.vectors", collection.vectors)
             points = collection.scroll()
-            with open(directory / f"{name}.payloads.json", "w") as fh:
-                json.dump(
-                    [{"id": p.id, "payload": p.payload} for p in points], fh
-                )
-        with open(directory / _MANIFEST, "w") as fh:
-            json.dump(manifest, fh, indent=2)
+            writer.add_json(
+                f"{name}.payloads", [{"id": p.id, "payload": p.payload} for p in points]
+            )
+        writer.commit()
 
     @classmethod
     def load(cls, directory: str | Path) -> "VectorDatabase":
-        """Restore a database from a snapshot directory."""
+        """Restore a database from a snapshot directory.
+
+        Segment snapshots are digest-verified on read: a truncated
+        vectors segment or corrupted payload raises
+        :class:`~repro.errors.StorageError` here instead of surfacing
+        as garbage rankings later.  Pre-segment snapshots (a bare
+        ``manifest.json`` plus ``.npz`` files) still load.
+        """
         directory = Path(directory)
+        if is_snapshot(directory):
+            snapshot = open_snapshot(directory)
+            db = cls()
+            for name, info in snapshot.meta["collections"].items():
+                collection = db.create_collection(
+                    name,
+                    dim=info["dim"],
+                    metric=Metric(info["metric"]),
+                    dtype=info.get("dtype", "float64"),
+                )
+                vectors = snapshot.array(f"{name}.vectors")
+                records = snapshot.json(f"{name}.payloads")
+                db._restore(collection, vectors, records, info.get("index"))
+            return db
+        return cls._load_legacy(directory)
+
+    @classmethod
+    def _load_legacy(cls, directory: Path) -> "VectorDatabase":
+        """The pre-segment layout: raw ``manifest.json`` + per-collection
+        ``.npz`` / ``.payloads.json`` files, no checksums."""
         with open(directory / _MANIFEST) as fh:
             manifest = json.load(fh)
         db = cls()
@@ -114,14 +153,23 @@ class VectorDatabase:
                 metric=Metric(info["metric"]),
                 dtype=info.get("dtype", "float64"),
             )
-            vectors = np.load(directory / f"{name}.npz")["vectors"]
+            vectors = legacy_npz.load_npz(directory / f"{name}.npz")["vectors"]
             with open(directory / f"{name}.payloads.json") as fh:
                 records = json.load(fh)
-            points = [
-                Point(rec["id"], vectors[row], rec["payload"])
-                for row, rec in enumerate(records)
-            ]
-            collection.upsert(points)
-            if info.get("index"):
-                collection.create_index(info["index"])
+            db._restore(collection, vectors, records, info.get("index"))
         return db
+
+    @staticmethod
+    def _restore(
+        collection: Collection,
+        vectors: np.ndarray,
+        records: list[dict[str, Any]],
+        index: "str | None",
+    ) -> None:
+        points = [
+            Point(rec["id"], vectors[row], rec["payload"])
+            for row, rec in enumerate(records)
+        ]
+        collection.upsert(points)
+        if index:
+            collection.create_index(index)

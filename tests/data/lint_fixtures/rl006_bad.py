@@ -1,0 +1,17 @@
+"""Known-bad fixture for RL006: raw numpy array I/O outside repro.storage.
+
+Line numbers are asserted exactly in tests/test_analysis.py.
+"""
+
+import numpy as np
+
+
+def persist(matrix, path):
+    np.save(path, matrix)  # line 10
+    np.savez_compressed(path.with_suffix(".npz"), vectors=matrix)  # line 11
+
+
+def restore(path):
+    data = np.load(path, allow_pickle=False)  # line 15
+    lazy = np.memmap(path, dtype=np.float32, mode="r")  # line 16
+    return data, lazy

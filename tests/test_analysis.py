@@ -80,6 +80,23 @@ class TestRuleFixtures:
         report = check_fixture("rl005_bad.py", "src/repro/exec/rl005_bad.py")
         assert report.findings == ()
 
+    def test_rl006_raw_array_persistence(self):
+        report = check_fixture("rl006_bad.py")
+        got = [(f.rule_id, f.line) for f in report.findings]
+        assert got == [
+            ("RL006", 10),
+            ("RL006", 11),
+            ("RL006", 15),
+            ("RL006", 16),
+        ]
+        assert "np.save()" in report.findings[0].message
+        assert "np.memmap()" in report.findings[3].message
+
+    def test_rl006_home_package_is_exempt(self):
+        # The same source under repro/storage/ is the one legitimate home.
+        report = check_fixture("rl006_bad.py", "src/repro/storage/rl006_bad.py")
+        assert report.findings == ()
+
     def test_syntax_error_is_a_finding_not_a_crash(self):
         report = Analyzer().check_source("def broken(:\n", "x.py")
         assert [f.rule_id for f in report.findings] == ["RL000"]
@@ -192,7 +209,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
             assert rule_id in out
 
     def test_bad_path_exits_two(self, capsys):

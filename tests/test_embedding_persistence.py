@@ -8,9 +8,11 @@ from repro.core import (
     load_federation_embeddings,
     save_federation_embeddings,
 )
+from repro.core.semimg import save_federation_embeddings_npz
 from repro.data.covid import covid_federation
 from repro.embedding import SemanticHashEncoder
 from repro.errors import ConfigurationError
+from repro.storage import npz as legacy_npz
 
 
 @pytest.fixture(scope="module")
@@ -77,17 +79,34 @@ class TestEmbeddingPersistence:
         assert loaded.build_seconds == engine.embeddings.build_seconds
         assert loaded.generation == engine.embeddings.generation
 
+    def test_legacy_npz_snapshots_still_load(self, engine, tmp_path):
+        """Pre-segment single-file ``.npz`` snapshots keep loading."""
+        path = tmp_path / "old.npz"
+        save_federation_embeddings_npz(engine.embeddings, path)
+        loaded = load_federation_embeddings(path, engine.encoder)
+        assert loaded.relation_ids() == engine.embeddings.relation_ids()
+        assert loaded.build_seconds == engine.embeddings.build_seconds
+        assert loaded.generation == engine.embeddings.generation
+
     def test_old_snapshots_without_metadata_still_load(self, engine, tmp_path):
         path = tmp_path / "old.npz"
-        save_federation_embeddings(engine.embeddings, path)
-        with np.load(path, allow_pickle=False) as data:
-            arrays = {
-                k: data[k] for k in data.files if k not in ("build_seconds", "generation")
-            }
-        np.savez_compressed(path, **arrays)
+        save_federation_embeddings_npz(engine.embeddings, path)
+        data = legacy_npz.load_npz(path)
+        arrays = {
+            k: v for k, v in data.items() if k not in ("build_seconds", "generation")
+        }
+        legacy_npz.save_npz(path, arrays)
         loaded = load_federation_embeddings(path, engine.encoder)
         assert loaded.build_seconds == 0.0
         assert loaded.generation == 0
+
+    def test_legacy_npz_cannot_mmap(self, engine, tmp_path):
+        """``mmap=True`` needs a segment snapshot — a compressed archive
+        has no raw bytes to map, so the combination is rejected loudly."""
+        path = tmp_path / "old.npz"
+        save_federation_embeddings_npz(engine.embeddings, path)
+        with pytest.raises(ConfigurationError):
+            load_federation_embeddings(path, engine.encoder, mmap=True)
 
     def test_loaded_engine_is_indexed(self, engine, tmp_path):
         path = tmp_path / "e.npz"

@@ -18,6 +18,7 @@ from repro.core import DiscoveryEngine
 from repro.datamodel.relation import Federation, Relation
 from repro.exec import ProcessBackend
 from repro.linalg import live_segment_names, shared_memory_available
+from repro.storage import live_mapped_paths
 
 from tests.test_sharding import (
     QUERIES,
@@ -73,6 +74,36 @@ def test_fresh_index_identical_across_backends(backend, shards, method):
                 assert isinstance(engine.executor, ProcessBackend)
             assert_same_rankings(baseline, engine, method)
             assert_same_batches(baseline, engine, method)
+
+
+@pytest.mark.parametrize("method", ["exs", "anns"])
+@pytest.mark.parametrize("shards", [1, 2, 5])
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mapped_load_identical_across_backends(tmp_path, backend, shards, method):
+    """A snapshot loaded with ``mmap=True`` ranks identically to the
+    cold inline build on every backend.  On the process backend the
+    published scan spec names the segment *file* — workers map the same
+    bytes the parent serves, so serving allocates zero shared memory."""
+    fed = federation(range(6))
+    with make_engine("inline").index(fed) as baseline:
+        # Save under the layout the loader will use: matching
+        # (shards, seed) lets the loader adopt the per-shard mapped
+        # stores as-is instead of repartitioning (which would re-stack).
+        with make_engine("inline", shards=shards).index(fed) as saver:
+            saver.save_index(tmp_path / "snap")
+        loaded = make_engine(backend, shards=shards).load_index(
+            tmp_path / "snap", mmap=True
+        )
+        with loaded as engine:
+            assert_same_rankings(baseline, engine, method)
+            assert_same_batches(baseline, engine, method)
+            if backend == "process" and method == "exs":
+                # The tentpole contract: mapped segments ARE the scan
+                # state; publishing them copies nothing into /dev/shm.
+                assert not [n for n in live_segment_names()]
+                assert live_mapped_paths()
+    assert not live_mapped_paths()
+    assert not [n for n in live_segment_names()]
 
 
 op_steps = st.lists(

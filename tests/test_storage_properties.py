@@ -1,0 +1,145 @@
+"""Property tests: persistence is invisible in the rankings.
+
+The storage layer's contract is that *how* an index got into memory —
+cold ``index()`` build, eager snapshot load, or ``mmap=True`` mapped
+load — is undetectable in search results: rankings identical, scores
+exact (the snapshot stores the engine's scan dtype, so the mapped bytes
+ARE the cold-build bytes).  That must hold across methods, shard
+counts, both scan dtypes, and across lifecycle deltas applied after a
+load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DiscoveryEngine
+from repro.datamodel.relation import Federation, Relation
+from repro.errors import ConfigurationError
+from repro.storage import live_mapped_paths
+
+from tests.test_sharding import (
+    QUERIES,
+    assert_same_rankings,
+    make_relation,
+    qualified,
+)
+
+
+def federation(n: int = 8) -> Federation:
+    return Federation.from_relations([make_relation(s) for s in range(n)])
+
+
+def make_engine(shards: int = 1, dtype: type = np.float32) -> DiscoveryEngine:
+    return DiscoveryEngine(
+        dim=48,
+        method_params={"anns": {"index_kind": "exact", "n_candidates": 10_000}},
+        shards=shards,
+        dtype=dtype,
+        executor="inline",
+    )
+
+
+def assert_scores_exact(a: DiscoveryEngine, b: DiscoveryEngine, method: str) -> None:
+    """Stronger than the cross-backend tolerance: a reloaded snapshot
+    serves the very same bytes, so scores match bit for bit."""
+    for query in QUERIES:
+        ra = a.search(query, method=method, k=100, h=-1.0)
+        rb = b.search(query, method=method, k=100, h=-1.0)
+        assert ra.relation_ids() == rb.relation_ids()
+        assert [m.score for m in ra.matches] == [m.score for m in rb.matches]
+
+
+@pytest.mark.parametrize("mmap", [False, True], ids=["eager", "mmap"])
+@pytest.mark.parametrize("method", ["exs", "anns"])
+@pytest.mark.parametrize("shards", [1, 2, 5])
+def test_reload_matches_cold_build(tmp_path, shards, method, mmap):
+    fed = federation()
+    with make_engine(shards).index(fed) as cold:
+        cold.save_index(tmp_path / "snap")
+        with make_engine(shards).load_index(tmp_path / "snap", mmap=mmap) as warm:
+            assert_scores_exact(cold, warm, method)
+    assert not live_mapped_paths()
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64], ids=["f32", "f64"])
+def test_reload_matches_cold_build_both_dtypes(tmp_path, dtype):
+    fed = federation()
+    with make_engine(shards=2, dtype=dtype).index(fed) as cold:
+        cold.save_index(tmp_path / "snap")
+        loaded = make_engine(shards=2, dtype=dtype).load_index(
+            tmp_path / "snap", mmap=True
+        )
+        with loaded as warm:
+            assert_scores_exact(cold, warm, "exs")
+    assert not live_mapped_paths()
+
+
+@pytest.mark.parametrize("mmap", [False, True], ids=["eager", "mmap"])
+@pytest.mark.parametrize("shards", [1, 5])
+def test_deltas_after_load_match_deltas_after_build(tmp_path, shards, mmap):
+    """A loaded engine is a *live* engine: a delta applied after the
+    load ranks exactly like the same delta applied to the cold build
+    (the mapped backing is copied out on the first store mutation)."""
+    fed = federation()
+    cold = make_engine(shards).index(fed)
+    cold.save_index(tmp_path / "snap")
+    warm = make_engine(shards).load_index(tmp_path / "snap", mmap=mmap)
+    try:
+        for engine in (cold, warm):
+            engine.method("exs")
+            engine.method("anns")
+            engine.add_relations({qualified(50): make_relation(50)})
+            engine.update_relations({qualified(2): make_relation(2, version=1)})
+            engine.remove_relations([qualified(3)])
+        for method in ("exs", "anns"):
+            assert_same_rankings(cold, warm, method)
+    finally:
+        cold.close()
+        warm.close()
+    assert not live_mapped_paths()
+
+
+@pytest.mark.parametrize("saved_shards,loaded_shards", [(5, 2), (2, 1), (1, 3)])
+def test_layout_change_repartitions_identically(tmp_path, saved_shards, loaded_shards):
+    """Loading under a different shard count re-partitions the mapped
+    relations deterministically — rankings unchanged, and the orphaned
+    per-shard buffer handles are released."""
+    fed = federation()
+    with make_engine(saved_shards).index(fed) as cold:
+        cold.save_index(tmp_path / "snap")
+        loaded = make_engine(loaded_shards).load_index(tmp_path / "snap", mmap=True)
+        with loaded as warm:
+            assert_scores_exact(cold, warm, "exs")
+    assert not live_mapped_paths()
+
+
+class TestDtypeMismatch:
+    """Satellite regression: a snapshot's stored dtype must match the
+    loading engine's configured dtype, failing loudly up front."""
+
+    def test_load_index_names_both_dtypes(self, tmp_path):
+        with make_engine(dtype=np.float32).index(federation(4)) as engine:
+            engine.save_index(tmp_path / "snap")
+        with make_engine(dtype=np.float64) as mismatched:
+            with pytest.raises(ConfigurationError) as excinfo:
+                mismatched.load_index(tmp_path / "snap")
+            assert "float32" in str(excinfo.value)
+            assert "float64" in str(excinfo.value)
+            assert not mismatched.is_indexed
+
+    def test_sharded_snapshot_checked_at_the_root(self, tmp_path):
+        with make_engine(shards=3, dtype=np.float64).index(federation(6)) as engine:
+            engine.save_index(tmp_path / "snap")
+        with make_engine(shards=3, dtype=np.float32) as mismatched:
+            with pytest.raises(ConfigurationError) as excinfo:
+                mismatched.load_index(tmp_path / "snap", mmap=True)
+            assert "float64" in str(excinfo.value)
+        assert not live_mapped_paths()
+
+    def test_matching_dtype_loads(self, tmp_path):
+        with make_engine(dtype=np.float64).index(federation(4)) as engine:
+            engine.save_index(tmp_path / "snap")
+        with make_engine(dtype=np.float64).load_index(tmp_path / "snap") as warm:
+            assert warm.is_indexed
