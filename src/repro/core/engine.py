@@ -18,6 +18,7 @@ one.
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 
 import numpy as np
@@ -26,6 +27,7 @@ from contextlib import AbstractContextManager
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.cache import CacheSignature, SemanticResultCache, resolve_query_cache
 from repro.core.anns import ANNSearch
 from repro.core.base import SearchMethod
 from repro.core.cts import ClusteredTargetedSearch
@@ -132,6 +134,15 @@ class DiscoveryEngine:
         promotion.  ``None`` (the default) defers to the
         ``REPRO_SANITIZE`` environment variable, which is how the CI
         sanitizer shard runs the ordinary test suite instrumented.
+    query_cache:
+        Semantic query-result cache above the methods
+        (:class:`~repro.cache.SemanticResultCache`): exact text hits
+        plus near-duplicate embedding hits (cosine >= tau), invalidated
+        precisely by the store's generation counter.  Pass a ready
+        instance (its metrics rebind to this engine's registry), ``True``
+        / a config string (``"tau=0.95,capacity=1024"``), or ``None`` to
+        defer to the ``REPRO_QUERY_CACHE`` environment variable
+        (default: off).
 
     Example
     -------
@@ -152,9 +163,13 @@ class DiscoveryEngine:
         dtype: "str | np.dtype | type" = np.float32,
         executor: "ExecutionBackend | str | None" = None,
         sanitize: bool | None = None,
+        query_cache: "SemanticResultCache | bool | str | None" = None,
     ) -> None:
+        #: Shared observability registry: every method and its vector-db
+        #: collections record counters and per-stage latencies here.
+        self.metrics = MetricsRegistry()
         if encoder is None:
-            encoder = CachingEncoder(SemanticHashEncoder(dim=dim))
+            encoder = CachingEncoder(SemanticHashEncoder(dim=dim), metrics=self.metrics)
         self.encoder = encoder
         self.method_params = dict(method_params or {})
         self.dtype = np.dtype(dtype)
@@ -171,9 +186,9 @@ class DiscoveryEngine:
         self._embeddings: FederationEmbeddings | None = None
         self._sharded: ShardedStore | None = None
         self._methods: dict[str, SearchMethod] = {}
-        #: Shared observability registry: every method and its vector-db
-        #: collections record counters and per-stage latencies here.
-        self.metrics = MetricsRegistry()
+        #: Semantic query-result cache above the methods; ``None`` when
+        #: caching is off (the default — ``REPRO_QUERY_CACHE`` opts in).
+        self.query_cache = resolve_query_cache(query_cache, metrics=self.metrics)
         #: One backend for every parallel site; ``exec.*`` metrics land
         #: in the shared registry.  Owned iff the engine resolved it
         #: from a name (an injected instance is the caller's to close).
@@ -208,9 +223,25 @@ class DiscoveryEngine:
             self._close_methods()
             self._sharded = self._partition(embeddings)
             self._release_stores(old_store, old_sharded)
+            self._reset_query_cache(embeddings.generation)
             self.metrics.gauge("engine.generation").set(embeddings.generation)
             self.metrics.gauge("storage.mapped_bytes").set(float(live_mapped_nbytes()))
         return self
+
+    @requires_lock("write")
+    def _reset_query_cache(self, generation: int) -> None:
+        """Store swap: drop every cached answer and republish.
+
+        A fresh build restarts generation numbering, so the cache's
+        epoch-bumping ``invalidate_all`` is the only correct reset — a
+        bare generation compare could serve pre-swap entries whose
+        numbers happen to recur.
+        """
+        if self.query_cache is None:
+            return
+        self.query_cache.invalidate_all()
+        for name in self.METHODS:
+            self.query_cache.publish_generation(name, generation)
 
     def _partition(self, store: FederationEmbeddings) -> ShardedStore | None:
         """Shard the store (``shards > 1``) and publish shard sizes."""
@@ -407,6 +438,7 @@ class DiscoveryEngine:
             if sharded is not None:
                 self._publish_shard_sizes(sharded)
             self._release_stores(old_store, old_sharded)
+            self._reset_query_cache(loaded.generation)
             self.metrics.gauge("engine.generation").set(loaded.generation)
             self.metrics.gauge("storage.mapped_bytes").set(float(live_mapped_nbytes()))
         return self
@@ -511,6 +543,8 @@ class DiscoveryEngine:
         with self._lifecycle_lock.write():
             self._close_methods()
             self._release_stores(self._embeddings, self._sharded)
+            if self.query_cache is not None:
+                self.query_cache.invalidate_all()
             self.metrics.gauge("storage.mapped_bytes").set(float(live_mapped_nbytes()))
         if self._owns_executor:
             self._executor.close()
@@ -610,6 +644,15 @@ class DiscoveryEngine:
             self._publish_shard_sizes(self._sharded)
         for method in self._methods.values():
             method.apply_delta(added, updated, removed)
+        if self.query_cache is not None:
+            # Publishing from under the write lock is the invalidation:
+            # entries stamped with the pre-delta generation stop matching
+            # the moment readers can run again (per-method, lazily).
+            # Every delta here mutates the store all methods share, so
+            # all three publications advance together; the per-method
+            # granularity matters for caches fed by several stores.
+            for name in self.METHODS:
+                self.query_cache.publish_generation(name, store.generation)
         self.metrics.counter("engine.deltas").inc()
         self.metrics.counter("engine.relations_added").inc(len(added))
         self.metrics.counter("engine.relations_updated").inc(len(updated))
@@ -625,13 +668,39 @@ class DiscoveryEngine:
 
     # -- querying ---------------------------------------------------------------
 
+    def _query_vector(self, query: str) -> np.ndarray:
+        """The query's unit-normalized float32 embedding (cache key).
+
+        Goes through the engine's encoder, so with the default
+        :class:`CachingEncoder` the method's own encode of the same text
+        is a dictionary hit, not a second embedding pass.
+        """
+        return np.asarray(self.embeddings.encode_query(query), dtype=np.float32)
+
     def search(
         self, query: str, method: str = "cts", k: int = 10, h: float = 0.0
     ) -> SearchResult:
         """Answer a keyword query with the chosen algorithm."""
         with self._lifecycle_lock.read():
             self.metrics.counter("engine.queries").inc()
-            return self.method(method).search(query, k=k, h=h)
+            cache = self.query_cache
+            if cache is None:
+                return self.method(method).search(query, k=k, h=h)
+            signature = CacheSignature(method=method, k=k, h=h)
+            hit = cache.lookup(
+                signature, query, encode=lambda: self._query_vector(query)
+            )
+            if hit is not None:
+                return hit.as_result(query, method)
+            result = self.method(method).search(query, k=k, h=h)
+            cache.insert(
+                signature,
+                query,
+                self._query_vector(query),
+                result.matches,
+                self.embeddings.generation,
+            )
+            return result
 
     def search_batch(
         self,
@@ -678,10 +747,45 @@ class DiscoveryEngine:
     ) -> BatchResult:
         """:meth:`search_batch` body for callers already holding
         :meth:`read_lock` (the serving dispatch path, which may bracket
-        several windows under one acquisition)."""
+        several windows under one acquisition).
+
+        With a query cache, the batch partitions into hits and misses:
+        hits replay their cached rankings, the misses dispatch as ONE
+        residual ``search_batch`` (an all-hit batch never reaches the
+        method, so ``<method>.batches`` stays put), and the fresh
+        answers backfill both the result and the cache.
+        """
         self.metrics.counter("engine.queries").inc(len(queries))
         self.metrics.counter("engine.batches").inc()
-        return self.method(method).search_batch(queries, k=k, h=h, workers=workers)
+        cache = self.query_cache
+        if cache is None or not queries:
+            return self.method(method).search_batch(queries, k=k, h=h, workers=workers)
+        started = time.perf_counter()
+        signature = CacheSignature(method=method, k=k, h=h)
+        results: "list[SearchResult | None]" = [None] * len(queries)
+        missing: list[int] = []
+        for i, query in enumerate(queries):
+            hit = cache.lookup(
+                signature, query, encode=lambda q=query: self._query_vector(q)
+            )
+            if hit is None:
+                missing.append(i)
+            else:
+                results[i] = hit.as_result(query, method)
+        if missing:
+            residual = self.method(method).search_batch(
+                [queries[i] for i in missing], k=k, h=h, workers=workers
+            )
+            generation = self.embeddings.generation
+            for i, fresh in zip(missing, residual):
+                results[i] = fresh
+                cache.insert(
+                    signature, queries[i], self._query_vector(queries[i]),
+                    fresh.matches, generation,
+                )
+        filled = [result for result in results if result is not None]
+        assert len(filled) == len(queries)
+        return BatchResult(filled, elapsed_ms=(time.perf_counter() - started) * 1000.0)
 
     def serving(self, **kwargs: Any) -> "ServingEngine":
         """An async micro-batching front end over this engine.

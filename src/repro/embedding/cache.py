@@ -14,6 +14,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.embedding.base import SentenceEncoder
+from repro.obs import MetricsRegistry
 
 __all__ = ["CachingEncoder"]
 
@@ -28,19 +29,31 @@ class CachingEncoder(SentenceEncoder):
     max_size:
         Maximum number of cached texts; least-recently-used entries are
         evicted beyond that.
+    metrics:
+        Registry receiving the ``encoder_cache.*`` counters, so this
+        layer is observable side by side with the query-result cache.
+        The engine injects its own registry when it builds the default
+        encoder; a standalone encoder records into a private one.
     """
 
-    def __init__(self, delegate: SentenceEncoder, max_size: int = 200_000) -> None:
+    def __init__(
+        self,
+        delegate: SentenceEncoder,
+        max_size: int = 200_000,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if max_size < 1:
             raise ValueError("max_size must be >= 1")
         self.delegate = delegate
         self.max_size = max_size
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
         # Batched search paths may encode from pool threads; the LRU's
         # get/move_to_end/evict sequence must not interleave.
         self._cache_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @property
     def dim(self) -> int:
@@ -50,30 +63,45 @@ class CachingEncoder(SentenceEncoder):
         out = np.empty((len(texts), self.dim), dtype=np.float64)
         missing_positions: list[int] = []
         missing_texts: list[str] = []
+        n_hits = 0
         with self._cache_lock:
             for i, text in enumerate(texts):
                 cached = self._cache.get(text)
                 if cached is not None:
                     self._cache.move_to_end(text)
                     out[i] = cached
-                    self.hits += 1
+                    n_hits += 1
                 else:
                     missing_positions.append(i)
                     missing_texts.append(text)
-                    self.misses += 1
+            self.hits += n_hits
+            self.misses += len(missing_texts)
+        if n_hits:
+            self.metrics.counter("encoder_cache.hits").inc(n_hits)
         if missing_texts:
+            self.metrics.counter("encoder_cache.misses").inc(len(missing_texts))
             fresh = self.delegate.encode(missing_texts)
+            n_evicted = 0
             with self._cache_lock:
                 for pos, text, vec in zip(missing_positions, missing_texts, fresh):
                     out[pos] = vec
                     self._cache[text] = vec
                     if len(self._cache) > self.max_size:
                         self._cache.popitem(last=False)
+                        n_evicted += 1
+                self.evictions += n_evicted
+            if n_evicted:
+                self.metrics.counter("encoder_cache.evictions").inc(n_evicted)
         return out
 
     def cache_info(self) -> dict[str, int]:
-        """Hit/miss/size counters for instrumentation."""
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._cache)}
+        """Hit/miss/eviction/size counters for instrumentation."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._cache),
+        }
 
     def clear(self) -> None:
         """Empty the cache and reset counters."""
@@ -81,3 +109,4 @@ class CachingEncoder(SentenceEncoder):
             self._cache.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0

@@ -3,8 +3,8 @@
 Every counter, gauge and stage timer the engine, the search methods,
 the execution backends and the vector database record lives in one of
 these families — ``engine.*``, ``<method>.<stage>``, ``serving.*``,
-``exec.*``, ``storage.*`` and ``vectordb.*`` — and this module is the
-single place
+``cache.*``, ``encoder_cache.*``, ``exec.*``, ``storage.*`` and
+``vectordb.*`` — and this module is the single place
 those names are declared.  Two consumers keep the vocabulary honest:
 
 * the RL002 lint rule (:mod:`repro.analysis`) checks every literal or
@@ -98,6 +98,17 @@ VOCABULARY: tuple[MetricSpec, ...] = (
     MetricSpec("serving.dispatch_ms", "histogram", "Engine time per dispatched window (ms)."),
     MetricSpec("serving.e2e_ms", "histogram", "Submit-to-result end-to-end latency (ms)."),
     MetricSpec("serving.tenant.{tenant}.throttled", "counter", "Rate-limit rejections, per tenant."),
+    MetricSpec("serving.cache_hits", "counter", "Requests answered from the semantic cache before taking a queue slot."),
+    # -- cache.* ----------------------------------------------------------
+    MetricSpec("cache.hits", "counter", "Exact-text query-result cache hits."),
+    MetricSpec("cache.near_hits", "counter", "Near-duplicate query-result cache hits (cosine >= tau)."),
+    MetricSpec("cache.misses", "counter", "Query-result cache lookups that found no current entry."),
+    MetricSpec("cache.evictions", "counter", "Cache entries dropped: stale generation, LRU or byte pressure."),
+    MetricSpec("cache.bytes", "gauge", "Estimated resident bytes of cached rankings + query vectors."),
+    MetricSpec("cache.probe_ms", "histogram", "Near-duplicate probe latency: one GEMM per lookup (ms)."),
+    MetricSpec("encoder_cache.hits", "counter", "Texts served from the encoder's embedding cache."),
+    MetricSpec("encoder_cache.misses", "counter", "Texts the encoder cache delegated for embedding."),
+    MetricSpec("encoder_cache.evictions", "counter", "Embeddings evicted from the encoder cache (LRU)."),
     # -- exec.* -----------------------------------------------------------
     MetricSpec("exec.{backend}.tasks", "counter", "Tasks executed by the backend (submits + map lanes)."),
     MetricSpec("exec.{backend}.pool_size", "gauge", "Worker threads/processes the backend is sized to."),

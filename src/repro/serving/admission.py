@@ -58,8 +58,17 @@ class AdmissionController:
         """Raise :class:`RateLimited` / :class:`QueueFull`, or admit.
 
         The bucket is consulted before the queue bound so a throttled
-        tenant burns its own budget, never a queue slot.
+        tenant burns its own budget, never a queue slot.  The serving
+        path calls the two halves separately — a cache hit is charged
+        to its tenant but never needs a queue slot.
         """
+        self.charge_tenant(tenant, now)
+        self.check_queue(outstanding)
+
+    def charge_tenant(self, tenant: str, now: float) -> None:
+        """Consume one token from the tenant's bucket or raise
+        :class:`RateLimited` — every answered request costs a token,
+        whether it is served from cache or from the engine."""
         retry_s = self.limiter.admit(tenant, now)
         if retry_s is not None:
             raise RateLimited(
@@ -68,6 +77,9 @@ class AdmissionController:
                 tenant=tenant,
                 retry_after_ms=retry_s * 1000.0,
             )
+
+    def check_queue(self, outstanding: int) -> None:
+        """Enforce the queue bound or raise :class:`QueueFull`."""
         if outstanding >= self.max_queue:
             hint = self.retry_after_ms(outstanding)
             raise QueueFull(

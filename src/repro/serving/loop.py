@@ -35,6 +35,7 @@ import asyncio
 import time
 from typing import TYPE_CHECKING, Any
 
+from repro.cache import CacheSignature
 from repro.core.results import BatchResult, SearchResult
 from repro.errors import ConfigurationError, DeadlineExceeded, QueueFull, RateLimited, ServingClosed
 from repro.exec import ExecutionBackend, resolve_backend
@@ -216,15 +217,40 @@ class ServingEngine:
         :class:`~repro.errors.DeadlineExceeded` when ``timeout_ms``
         elapses before the window dispatches, and
         :class:`~repro.errors.ServingClosed` after :meth:`drain`.
+
+        Admission order: deadline first (a dead-on-arrival request is
+        shed before it can burn a token or a queue slot), then the
+        tenant's token bucket, then the engine's semantic cache — a hit
+        resolves right here, rate-limited but without ever taking a
+        queue slot or a window seat — and only a genuine miss pays the
+        queue-bound check and parks in a batching window.
         """
         self._ensure_running()
         now = self._clock()
+        deadline = self.admission.deadline(timeout_ms, now)
+        if deadline is not None and now >= deadline:
+            self.metrics.counter("serving.shed").inc()
+            self.metrics.gauge("serving.queue_depth").set(self._outstanding)
+            raise DeadlineExceeded(
+                "request was dead on arrival: its deadline expired before admission"
+            )
         try:
-            self.admission.admit(tenant, self._outstanding, now)
+            self.admission.charge_tenant(tenant, now)
         except RateLimited:
             self.metrics.counter("serving.throttled").inc()
             self.metrics.counter(f"serving.tenant.{tenant}.throttled").inc()
             raise
+        cached = self._cached_result(query, method=method, k=k, h=h)
+        if cached is not None:
+            self.metrics.counter("serving.submitted").inc()
+            self.metrics.counter("serving.cache_hits").inc()
+            self.metrics.counter("serving.completed").inc()
+            self.metrics.histogram("serving.e2e_ms").observe(
+                (self._clock() - now) * 1000.0
+            )
+            return cached
+        try:
+            self.admission.check_queue(self._outstanding)
         except QueueFull:
             self.metrics.counter("serving.rejected").inc()
             raise
@@ -235,13 +261,35 @@ class ServingEngine:
             tenant=tenant,
             future=self._loop.create_future(),
             enqueued=now,
-            deadline=self.admission.deadline(timeout_ms, now),
+            deadline=deadline,
         )
         self._outstanding += 1
         self.metrics.counter("serving.submitted").inc()
         self.metrics.gauge("serving.queue_depth").set(self._outstanding)
         self.batcher.add(request)
         return await request.future
+
+    def _cached_result(
+        self, query: str, method: str, k: int, h: float
+    ) -> SearchResult | None:
+        """Probe the engine's semantic cache from the event-loop thread.
+
+        Lock-free by design: the cache validates every candidate against
+        the generation the writer last published from under its write
+        lock, so this probe never blocks the loop on the lifecycle lock.
+        Racing a writer it serves either the pre-delta answer (the
+        request overlaps the delta — linearizable) or nothing, in which
+        case the request takes the ordinary locked window path.
+        """
+        cache = self.engine.query_cache
+        if cache is None:
+            return None
+        hit = cache.lookup(
+            CacheSignature(method=method, k=k, h=h),
+            query,
+            encode=lambda: self.engine._query_vector(query),
+        )
+        return None if hit is None else hit.as_result(query, method)
 
     def _dispatch_window(self, key: BatchKey, requests: "list[PendingRequest]") -> None:
         """One ready window (loop thread): shed the expired, run the rest.

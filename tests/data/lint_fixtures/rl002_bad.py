@@ -13,3 +13,8 @@ class BadRecorder:
         self.metrics.counter("engine.generation").inc()  # line 13: gauge via counter
         self.metrics.counter("engine.queries").inc()  # declared: not flagged
         self.metrics.histogram(f"{self.name}.scan").observe(1.0)  # declared: not flagged
+        self.metrics.counter("cache.nearhits").inc()  # line 16: unknown cache name
+        self.metrics.counter("cache.probe_ms").inc()  # line 17: histogram via counter
+        self.metrics.counter("cache.near_hits").inc()  # declared: not flagged
+        self.metrics.gauge("cache.bytes").set(1.0)  # declared: not flagged
+        self.metrics.counter("encoder_cache.evictions").inc()  # declared: not flagged

@@ -20,3 +20,11 @@ class BadShared:
             work()
         except Exception:  # line 21: swallowed
             pass
+
+
+class BadResultCache:
+    """A query cache whose read path regressed from lock-free to locked."""
+
+    def __init__(self):
+        self._lifecycle_lock = RWLock()
+        self._probe_lock = threading.Lock()  # line 30: raw lock beside the RWLock

@@ -45,12 +45,22 @@ class TestRuleFixtures:
     def test_rl002_metrics_vocabulary(self):
         report = check_fixture("rl002_bad.py")
         got = [(f.rule_id, f.line) for f in report.findings]
-        assert got == [("RL002", 11), ("RL002", 12), ("RL002", 13)]
+        assert got == [
+            ("RL002", 11),
+            ("RL002", 12),
+            ("RL002", 13),
+            ("RL002", 16),
+            ("RL002", 17),
+        ]
         assert "'engine.nope'" in report.findings[0].message
         # The f-string interpolation renders as a wildcard marker.
         assert ".sacn" in report.findings[1].message
         # Known gauge name recorded through .counter() is kind drift.
         assert "'engine.generation'" in report.findings[2].message
+        # The cache.* family is vocabulary-checked like any other.
+        assert "'cache.nearhits'" in report.findings[3].message
+        # cache.probe_ms is a histogram; counting it is kind drift.
+        assert "'cache.probe_ms'" in report.findings[4].message
 
     def test_rl003_dtype_discipline(self):
         report = check_fixture("rl003_bad.py", "src/repro/linalg/rl003_bad.py")
@@ -66,7 +76,10 @@ class TestRuleFixtures:
     def test_rl004_concurrency_hygiene(self):
         report = check_fixture("rl004_bad.py")
         got = [(f.rule_id, f.line) for f in report.findings]
-        assert got == [("RL004", 12), ("RL004", 16), ("RL004", 21)]
+        assert got == [("RL004", 12), ("RL004", 16), ("RL004", 21), ("RL004", 30)]
+        # The query cache's read path is lock-free by design; a raw lock
+        # creeping in beside the lifecycle RWLock is a regression.
+        assert "BadResultCache" in report.findings[3].message
 
     def test_rl005_executor_construction(self):
         report = check_fixture("rl005_bad.py")
@@ -110,7 +123,7 @@ class TestSuppressions:
             "cache = {}  # repro-lint: disable=RL004 -- fixture",
         )
         report = Analyzer().check_source(text, "rl004_bad.py")
-        assert [f.line for f in report.findings] == [16, 21]
+        assert [f.line for f in report.findings] == [16, 21, 30]
         assert report.n_suppressed == 1
 
     def test_standalone_comment_covers_next_line(self):
@@ -129,7 +142,7 @@ class TestSuppressions:
         ).read_text(encoding="utf-8")
         report = Analyzer().check_source(text, "rl004_bad.py")
         assert report.findings == ()
-        assert report.n_suppressed == 3
+        assert report.n_suppressed == 4
 
     def test_other_rules_stay_active(self):
         text = (FIXTURES / "rl004_bad.py").read_text(encoding="utf-8")
@@ -137,7 +150,7 @@ class TestSuppressions:
             "# repro-lint: disable-file=RL001 -- wrong rule\n" + text,
             "rl004_bad.py",
         )
-        assert len(report.findings) == 3
+        assert len(report.findings) == 4
 
     def test_directive_inside_string_is_not_a_directive(self):
         text = 'MSG = "# repro-lint: disable-file=RL004"\n\n\nclass C:\n    cache = {}\n'
@@ -154,6 +167,10 @@ class TestVocabulary:
     def test_literal_names(self):
         assert vocabulary.matches("engine.queries", call_kind="counter")
         assert vocabulary.matches("vectordb.scan", call_kind="histogram")
+        assert vocabulary.matches("cache.near_hits", call_kind="counter")
+        assert vocabulary.matches("cache.probe_ms", call_kind="timer")
+        assert vocabulary.matches("encoder_cache.hits", call_kind="counter")
+        assert not vocabulary.matches("cache.bytes", call_kind="counter")
 
     def test_kind_mismatch_fails(self):
         assert not vocabulary.matches("engine.queries", call_kind="gauge")
@@ -195,13 +212,13 @@ class TestCli:
         out = capsys.readouterr().out
         assert code == 1
         assert "RL004" in out
-        assert "3 finding(s)" in out
+        assert "4 finding(s)" in out
 
     def test_json_format(self, capsys):
         code = lint_main([str(FIXTURES / "rl004_bad.py"), "--format=json"])
         payload = json.loads(capsys.readouterr().out)
         assert code == 1
-        assert payload["n_findings"] == 3
+        assert payload["n_findings"] == 4
         assert payload["ok"] is False
         assert {f["rule"] for f in payload["findings"]} == {"RL004"}
         assert all({"path", "line", "col", "message"} <= set(f) for f in payload["findings"])

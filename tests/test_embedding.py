@@ -207,7 +207,53 @@ class TestCachingEncoder:
         cached = CachingEncoder(encoder64)
         cached.encode(["a"])
         cached.clear()
-        assert cached.cache_info() == {"hits": 0, "misses": 0, "size": 0}
+        assert cached.cache_info() == {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
 
     def test_dim_forwarded(self, encoder64):
         assert CachingEncoder(encoder64).dim == 64
+
+    def test_metrics_counters_mirror_cache_info(self, encoder64):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cached = CachingEncoder(encoder64, max_size=2, metrics=registry)
+        cached.encode(["a", "b"])  # 2 misses
+        cached.encode(["a", "c"])  # 1 hit, 1 miss + eviction (max_size=2)
+        info = cached.cache_info()
+        assert info == {"hits": 1, "misses": 3, "evictions": 1, "size": 2}
+        counters = registry.snapshot()["counters"]
+        assert counters["encoder_cache.hits"] == info["hits"]
+        assert counters["encoder_cache.misses"] == info["misses"]
+        assert counters["encoder_cache.evictions"] == info["evictions"]
+
+    def test_threaded_counters_stay_consistent(self, encoder64):
+        """Regression: pool threads encoding concurrently must account
+        every text exactly once — hits + misses == texts seen, and the
+        metrics counters agree with the int attributes."""
+        import threading as _threading
+
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cached = CachingEncoder(encoder64, metrics=registry)
+        texts = [f"word{i % 7}" for i in range(50)]
+        barrier = _threading.Barrier(4)
+
+        def work():
+            barrier.wait()
+            for _ in range(5):
+                cached.encode(texts)
+
+        threads = [_threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        info = cached.cache_info()
+        assert info["hits"] + info["misses"] == 4 * 5 * len(texts)
+        assert info["size"] == 7
+        assert info["evictions"] == 0
+        counters = registry.snapshot()["counters"]
+        assert counters["encoder_cache.hits"] == info["hits"]
+        assert counters["encoder_cache.misses"] == info["misses"]

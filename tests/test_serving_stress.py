@@ -237,3 +237,125 @@ def test_rank_identity_under_engine_worker_pool(batch_workers):
 
     for query, result in zip(QUERIES, asyncio.run(serve())):
         assert result.relation_ids() == direct_ids(engine, query)
+
+
+# -- the semantic cache under racing writers ---------------------------------
+
+
+def make_cached_engine(relations: "list[Relation]") -> DiscoveryEngine:
+    engine = DiscoveryEngine(dim=48, query_cache=True)
+    engine.index(Federation.from_relations(relations))
+    engine.method("exs")
+    return engine
+
+
+def test_results_atomic_across_concurrent_delta_with_cache():
+    """The cached variant of the atomicity property: with a warm
+    semantic cache in front of the methods, a mid-traffic delta still
+    yields only pre- or post-delta answers — a cache hit from a
+    generation other than one the federation actually held would be a
+    torn read — and settled traffic sees only the post-delta state."""
+    initial = [make_relation(s) for s in range(N_SLOTS)]
+    engine = make_cached_engine(initial)
+    moved = make_relation(0, topic=3)
+    pre = {q: direct_ids(make_engine(initial), q) for q in QUERIES}
+    post = {q: direct_ids(make_engine([moved] + initial[1:]), q) for q in QUERIES}
+    assert pre[QUERIES[0]] != post[QUERIES[0]], "delta must move a ranking"
+
+    for query in QUERIES:  # warm the cache at the pre-delta generation
+        engine.search(query, method="exs", k=K)
+
+    async def serve():
+        async with engine.serving(
+            window_ms=1.0, max_batch=4, dispatch_workers=2, batch_workers=2
+        ) as serving:
+
+            async def client(wave: int):
+                return await asyncio.gather(
+                    *(serving.submit(q, method="exs", k=K) for q in QUERIES)
+                )
+
+            first = asyncio.ensure_future(client(0))
+            loop = asyncio.get_running_loop()
+            writer = loop.run_in_executor(
+                None, lambda: engine.update_relations({qualified(0): moved})
+            )
+            waves = [asyncio.ensure_future(client(w)) for w in range(1, 5)]
+            results = [await first, *(await asyncio.gather(*waves))]
+            await writer
+            settled = await client(99)  # recomputes + re-warms post-delta
+            second = await client(100)  # guaranteed cache hits, must stay post
+            return results, settled, second
+
+    results, settled, second = asyncio.run(serve())
+    for wave in results:
+        for query, result in zip(QUERIES, wave):
+            ids = result.relation_ids()
+            assert ids in (pre[query], post[query]), f"torn result for {query!r}: {ids}"
+    for query, result in zip(QUERIES, settled):
+        assert result.relation_ids() == post[query]
+    for query, result in zip(QUERIES, second):
+        assert result.relation_ids() == post[query]
+    # The settled wave re-warmed every query, so the follow-up wave rode
+    # the cache: the hit path was genuinely exercised post-delta.
+    counters = engine.metrics.snapshot()["counters"]
+    assert counters.get("serving.cache_hits", 0) >= len(QUERIES)
+
+
+def test_drain_with_cache_never_leaks_a_stale_generation():
+    """drain() racing a writer on a cached engine: the parked windows
+    may answer from either side of the delta, but once the writer has
+    published, no signature — neither the pre-warmed one nor the one
+    the draining windows computed and tried to backfill — serves
+    anything but the post-delta ranking."""
+    initial = [make_relation(s) for s in range(N_SLOTS)]
+    engine = make_cached_engine(initial)
+    moved = make_relation(1, topic=4)
+    delta_applied = threading.Event()
+
+    for query in QUERIES:  # warm signature (method, k=K) pre-delta
+        engine.search(query, method="exs", k=K)
+
+    async def serve():
+        serving = engine.serving(window_ms=60_000.0, max_batch=8, dispatch_workers=2)
+        async with serving:
+            # k=2 is a different cache signature: these MISS the warm
+            # cache and genuinely park in the 60s window.
+            parked = [
+                asyncio.ensure_future(serving.submit(q, method="exs", k=2))
+                for q in QUERIES
+            ]
+            await asyncio.sleep(0)
+            assert serving.outstanding == len(QUERIES)
+
+            def write():
+                engine.update_relations({qualified(1): moved})
+                delta_applied.set()
+
+            writer = threading.Thread(target=write)
+            writer.start()
+            try:
+                await serving.drain()
+                results = await asyncio.gather(*parked)
+            finally:
+                writer.join(timeout=30.0)
+            assert not writer.is_alive()
+            return results
+
+    results = asyncio.run(asyncio.wait_for(serve(), timeout=60.0))
+    assert delta_applied.is_set()
+    assert len(results) == len(QUERIES)
+    for result in results:
+        assert result.relation_ids()
+
+    post = make_engine(
+        [make_relation(0), moved] + [make_relation(s) for s in range(2, N_SLOTS)]
+    )
+    for query in QUERIES:
+        # The pre-delta warm entries (k=K) are dead: generation moved.
+        assert direct_ids(engine, query) == direct_ids(post, query)
+        # And whatever the drained windows inserted at k=2 — possibly a
+        # pre-delta computation — was dropped or superseded: the served
+        # answer equals the post-delta computation.
+        got = engine.search(query, method="exs", k=2).relation_ids()
+        assert got == post.search(query, method="exs", k=2).relation_ids()
