@@ -108,6 +108,7 @@ class OneAtATimeFrontEnd:
 
     def __init__(self, engine: DiscoveryEngine, dispatch_workers: int) -> None:
         self.engine = engine
+        # repro-lint: disable=RL005 -- the raw pool IS the counterfactual: this baseline models a server without the repro.exec backend
         self._executor = ThreadPoolExecutor(
             max_workers=dispatch_workers, thread_name_prefix="one-at-a-time"
         )

@@ -1,0 +1,129 @@
+"""Content-hash-keyed per-file analysis cache for ``repro-lint``.
+
+Phase one of a run (parse + per-module rules + call-graph summary) is
+embarrassingly per-file, so its results are cached under
+``sha256(file text)`` — not path + mtime, so a ``git checkout`` that
+restores an old file is still a hit, and a touched-but-unchanged file
+never re-parses.  The active rule set's signature is part of the key:
+adding or removing a rule invalidates everything, silently stale
+results are impossible.
+
+Cached per file: the *pre-suppression* local findings (suppressions are
+comments, re-read from the live text every run — editing only a
+``# repro-lint:`` line must take effect without a cache miss) and the
+serialized :class:`~repro.analysis.callgraph.ModuleSummary` feeding the
+project phase.  Project rules (RL007/RL008) always run — they are
+cross-file by construction — but on a warm cache they are the *only*
+work left.
+
+The store is one JSON file, written atomically (tmp + rename) so a
+crashed run never leaves a torn cache, and versioned so format changes
+invalidate cleanly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.callgraph import ModuleSummary
+from repro.analysis.framework import Finding
+
+__all__ = ["AnalysisCache"]
+
+#: Bump when the on-disk layout changes; old caches are dropped whole.
+_FORMAT = 2
+
+
+class AnalysisCache:
+    """Per-file (findings, module summary) memo keyed by content hash."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if isinstance(raw, dict) and raw.get("format") == _FORMAT:
+            entries = raw.get("entries")
+            if isinstance(entries, dict):
+                self._entries = entries
+
+    @staticmethod
+    def _key(path: str, text: str, signature: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(signature.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(text.encode("utf-8"))
+        return digest.hexdigest()
+
+    def lookup(
+        self, path: str, text: str, signature: str
+    ) -> "tuple[list[Finding], ModuleSummary | None] | None":
+        """The cached (pre-suppression findings, summary), or None.
+
+        ``path`` re-labels cached findings, so a file moved without
+        content changes stays a hit with correctly-pathed findings.
+        """
+        entry = self._entries.get(self._key(path, text, signature))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        findings = [
+            Finding(
+                rule_id=f["rule_id"],
+                path=path,
+                line=f["line"],
+                col=f["col"],
+                message=f["message"],
+            )
+            for f in entry["findings"]
+        ]
+        summary = None
+        if entry["summary"] is not None:
+            summary = ModuleSummary.from_dict({**entry["summary"], "path": path})
+        return findings, summary
+
+    def store(
+        self,
+        path: str,
+        text: str,
+        signature: str,
+        findings: "list[Finding]",
+        summary: "ModuleSummary | None",
+    ) -> None:
+        self._entries[self._key(path, text, signature)] = {
+            "findings": [
+                {
+                    "rule_id": f.rule_id,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+            "summary": summary.to_dict() if summary is not None else None,
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist (tmp + rename); no-op when unchanged."""
+        if not self._dirty:
+            return
+        payload = json.dumps({"format": _FORMAT, "entries": self._entries})
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + f".tmp-{os.getpid()}")
+        tmp.write_text(payload, encoding="utf-8")
+        tmp.replace(self.path)
+        self._dirty = False

@@ -7,7 +7,7 @@ import json
 import sys
 from typing import Sequence
 
-from repro.analysis.framework import Analyzer, Report
+from repro.analysis.framework import Analyzer, Report, RunResult
 
 
 def _render_text(report: Report) -> str:
@@ -32,15 +32,38 @@ def _render_json(report: Report) -> str:
     )
 
 
+def _render_suppressions(result: RunResult) -> str:
+    """Every suppression directive in the scanned files, with usage.
+
+    ``unused`` directives silence nothing this run — candidates for
+    removal (the invariant they excused may have been fixed since).
+    """
+    lines: list[str] = []
+    n_total = n_unused = 0
+    for path in sorted(result.suppressions):
+        for record in result.suppressions[path].records:
+            n_total += 1
+            status = "used" if record.used else "UNUSED"
+            if not record.used:
+                n_unused += 1
+            rules = ",".join(sorted(record.rules))
+            reason = record.reason or "(no reason given)"
+            lines.append(
+                f"{path}:{record.line}: {status:<6} {record.scope:<4} {rules}  -- {reason}"
+            )
+    lines.append(f"{n_total} suppression(s), {n_unused} unused")
+    return "\n".join(lines)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST-based invariant linter for the repro codebase: lock discipline "
-            "(RL001), metrics vocabulary (RL002), dtype discipline (RL003) and "
-            "concurrency hygiene (RL004).  Suppress one finding with "
-            "'# repro-lint: disable=RLxxx -- reason', a whole file with "
-            "'# repro-lint: disable-file=RLxxx -- reason'."
+            "AST-based invariant linter for the repro codebase: per-module "
+            "rules (RL001-RL006, RL009, RL010) plus interprocedural call-graph "
+            "rules (RL007 lock discipline, RL008 event-loop hygiene).  "
+            "Suppress one finding with '# repro-lint: disable=RLxxx -- reason', "
+            "a whole file with '# repro-lint: disable-file=RLxxx -- reason'."
         ),
     )
     parser.add_argument(
@@ -51,26 +74,79 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        help="per-file analysis cache file (content-hash keyed; created on first run)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a timing/cache summary to stderr",
     )
     parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule set and exit",
     )
+    parser.add_argument(
+        "--list-suppressions",
+        action="store_true",
+        help="audit every suppression directive (and whether it still silences anything)",
+    )
     args = parser.parse_args(argv)
 
     analyzer = Analyzer()
+    if args.rules:
+        wanted = {rule_id.strip() for rule_id in args.rules.split(",") if rule_id.strip()}
+        known = {r.rule_id for r in analyzer.rules} | {
+            r.rule_id for r in analyzer.project_rules
+        }
+        unknown = wanted - known
+        if unknown:
+            print(f"repro-lint: unknown rule id(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        analyzer = Analyzer(
+            rules=[r for r in analyzer.rules if r.rule_id in wanted],
+            project_rules=[r for r in analyzer.project_rules if r.rule_id in wanted],
+        )
     if args.list_rules:
-        for rule in analyzer.rules:
+        for rule in (*analyzer.rules, *analyzer.project_rules):
             print(f"{rule.rule_id}  {rule.title}")
         return 0
+
+    cache = None
+    if args.cache:
+        from repro.analysis.cache import AnalysisCache
+
+        cache = AnalysisCache(args.cache)
     try:
-        report = analyzer.check_paths(args.paths)
+        result = analyzer.run(args.paths, cache=cache)
     except FileNotFoundError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
-    print(_render_json(report) if args.format == "json" else _render_text(report))
+    report = result.report
+
+    if args.list_suppressions:
+        print(_render_suppressions(result))
+        return 0
+    if args.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        print(render_sarif(report, analyzer))
+    elif args.format == "json":
+        print(_render_json(report))
+    else:
+        print(_render_text(report))
+    if args.stats and report.stats is not None:
+        print(f"repro-lint: {report.stats.format()}", file=sys.stderr)
     return 0 if report.ok else 1

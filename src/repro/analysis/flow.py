@@ -1,0 +1,265 @@
+"""Per-function control-flow graphs and a small forward dataflow engine.
+
+The CFG is statement-level: every simple statement is a node, compound
+statements contribute their header (the ``if``/``while`` test, the
+``for`` iterable, the ``with`` enter) plus their nested blocks.  Two
+sentinel nodes terminate every function: :data:`CFG.EXIT` (normal
+return / fall-off) and :data:`CFG.EXC_EXIT` (an exception escaping the
+function).  Exceptional edges are conservative — *any* statement may
+raise — and route to the innermost enclosing handler, through
+``finally`` blocks, and finally to ``EXC_EXIT``.  That is exactly the
+pessimism a resource-leak rule wants: a buffer acquired before a
+statement that might raise is live on the exceptional edge unless a
+``finally``/context manager releases it.
+
+:func:`solve_forward` is a classic worklist solver over finite
+lattices: states are ``frozenset``\\ s joined by union (may-analysis),
+and the per-statement transfer function is supplied by the rule.  It
+iterates to fixpoint; monotone transfers over finite sets terminate.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Iterable, Mapping, Sequence
+
+__all__ = ["CFG", "build_cfg", "solve_forward"]
+
+#: Statements that transfer control and never fall through.
+_JUMPS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+@dataclass
+class CFG:
+    """One function's control-flow graph.
+
+    ``nodes[i]`` is the AST statement for node ``i``; ``succ[i]`` its
+    normal successors and ``exc_succ[i]`` where control goes if the
+    statement raises.  Sentinels: ``EXIT`` (normal) and ``EXC_EXIT``
+    (escaping exception) appear only as successors.
+    """
+
+    EXIT: ClassVar[int] = -1
+    EXC_EXIT: ClassVar[int] = -2
+
+    nodes: list[ast.stmt] = field(default_factory=list)
+    succ: dict[int, set[int]] = field(default_factory=dict)
+    exc_succ: dict[int, set[int]] = field(default_factory=dict)
+    entry: set[int] = field(default_factory=set)
+
+    def successors(self, node: int) -> Iterable[int]:
+        yield from self.succ.get(node, ())
+        yield from self.exc_succ.get(node, ())
+
+
+@dataclass
+class _Ctx:
+    """Where break/continue/raise go from the current block."""
+
+    break_to: "list[int] | None" = None  # filled after the loop is built
+    continue_target: int | None = None
+    handlers: tuple[int, ...] = ()  # innermost-first exception targets
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+
+    def new_node(self, stmt: ast.stmt, preds: set[int], exc_to: tuple[int, ...]) -> int:
+        node = len(self.cfg.nodes)
+        self.cfg.nodes.append(stmt)
+        self.cfg.succ[node] = set()
+        self.cfg.exc_succ[node] = set(exc_to) if exc_to else {CFG.EXC_EXIT}
+        self.link(preds, node)
+        return node
+
+    def link(self, preds: set[int], node: int) -> None:
+        if not preds:
+            return
+        for pred in preds:
+            if pred == _ENTRY:
+                self.cfg.entry.add(node)
+            else:
+                self.cfg.succ[pred].add(node)
+
+    def block(self, stmts: Sequence[ast.stmt], preds: set[int], ctx: _Ctx) -> set[int]:
+        """Build a statement list; returns the nodes that fall through."""
+        current = set(preds)
+        for stmt in stmts:
+            if not current:
+                # Unreachable code after a jump: still build the nodes
+                # (a rule may anchor findings there) with no preds.
+                current = set()
+            current = self.statement(stmt, current, ctx)
+        return current
+
+    def statement(self, stmt: ast.stmt, preds: set[int], ctx: _Ctx) -> set[int]:
+        exc = ctx.handlers
+        if isinstance(stmt, ast.If):
+            test = self.new_node(stmt, preds, exc)
+            body_exit = self.block(stmt.body, {test}, ctx)
+            else_exit = self.block(stmt.orelse, {test}, ctx) if stmt.orelse else {test}
+            return body_exit | else_exit
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            head = self.new_node(stmt, preds, exc)
+            loop_ctx = _Ctx(break_to=[], continue_target=head, handlers=ctx.handlers)
+            body_exit = self.block(stmt.body, {head}, loop_ctx)
+            self.link(body_exit, head)
+            out: set[int] = {head}
+            if stmt.orelse:
+                out = self.block(stmt.orelse, {head}, ctx)
+            assert loop_ctx.break_to is not None
+            return out | set(loop_ctx.break_to)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            enter = self.new_node(stmt, preds, exc)
+            return self.block(stmt.body, {enter}, ctx)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds, ctx)
+        if isinstance(stmt, ast.Match):
+            subject = self.new_node(stmt, preds, exc)
+            out: set[int] = {subject}  # no case may match
+            for case in stmt.cases:
+                out |= self.block(case.body, {subject}, ctx)
+            return out
+        # Simple statement (including nested def/class: opaque here).
+        node = self.new_node(stmt, preds, exc)
+        if isinstance(stmt, ast.Return):
+            self.cfg.succ[node].add(CFG.EXIT)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            self.cfg.succ[node].clear()
+            # control only leaves via the exception edge
+            return set()
+        if isinstance(stmt, ast.Break):
+            if ctx.break_to is not None:
+                ctx.break_to.append(node)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            if ctx.continue_target is not None:
+                self.cfg.succ[node].add(ctx.continue_target)
+            return set()
+        return {node}
+
+    def _try(self, stmt: ast.Try, preds: set[int], ctx: _Ctx) -> set[int]:
+        outer: set[int] = set(ctx.handlers) if ctx.handlers else {CFG.EXC_EXIT}
+
+        # Build the finally block *first* (node order carries no
+        # meaning) so the body's exceptional edges can enter it.  One
+        # shared copy serves both routes: its exits fall through on the
+        # normal path AND carry exceptional edges outward, so the solver
+        # sees the re-raise continuation too.  Over-approximate — the
+        # normal-exit state also reaches the exceptional edge — which is
+        # the right direction for may-leak analyses.
+        final_entry: int | None = None
+        final_exits: set[int] = set()
+        if stmt.finalbody:
+            final_entry = len(self.cfg.nodes)
+            final_exits = self.block(stmt.finalbody, set(), ctx)
+            for node in final_exits:
+                self.cfg.exc_succ.setdefault(node, set()).update(outer)
+
+        # Each ExceptHandler gets a node of its own; exceptions leaving
+        # a handler (no match / re-raise / raise in its body) route
+        # through the finally when there is one, else outward.
+        handler_nodes: list[int] = []
+        for handler in stmt.handlers:
+            node = len(self.cfg.nodes)
+            self.cfg.nodes.append(handler)  # type: ignore[arg-type]
+            self.cfg.succ[node] = set()
+            self.cfg.exc_succ[node] = {final_entry} if final_entry is not None else set(outer)
+            handler_nodes.append(node)
+
+        # Exceptions in the try body go to every handler (any may
+        # match) and — since none may match — into finally / outward.
+        body_exc = set(handler_nodes)
+        if final_entry is not None:
+            body_exc.add(final_entry)
+        if not body_exc:
+            body_exc = set(outer)
+        body_ctx = _Ctx(
+            break_to=ctx.break_to,
+            continue_target=ctx.continue_target,
+            handlers=tuple(sorted(body_exc)),
+        )
+        body_exit = self.block(stmt.body, preds, body_ctx)
+        if stmt.orelse:
+            body_exit = self.block(stmt.orelse, body_exit, body_ctx)
+
+        handler_ctx = _Ctx(
+            break_to=ctx.break_to,
+            continue_target=ctx.continue_target,
+            handlers=(final_entry,) if final_entry is not None else ctx.handlers,
+        )
+        handler_exits: set[int] = set()
+        for node, handler in zip(handler_nodes, stmt.handlers):
+            handler_exits |= self.block(handler.body, {node}, handler_ctx)
+
+        normal_exit = body_exit | handler_exits
+        if final_entry is not None:
+            self.link(normal_exit, final_entry)
+            return final_exits
+        return normal_exit
+
+
+_ENTRY = -3
+
+
+def build_cfg(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> CFG:
+    """The statement-level CFG of one function body."""
+    builder = _Builder()
+    exits = builder.block(func.body, {_ENTRY}, _Ctx())
+    for node in exits:
+        if node != _ENTRY:
+            builder.cfg.succ[node].add(CFG.EXIT)
+    if not builder.cfg.nodes:
+        builder.cfg.entry.clear()
+    return builder.cfg
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: Callable[[int, frozenset[str]], frozenset[str]],
+    entry_state: frozenset[str] = frozenset(),
+    exc_transfer: "Callable[[int, frozenset[str]], frozenset[str]] | None" = None,
+) -> Mapping[int, frozenset[str]]:
+    """Worklist fixpoint of a forward may-analysis over ``cfg``.
+
+    ``transfer(node, state_in)`` returns the state after executing the
+    node.  Returns the joined *in* states, keyed by node id — plus the
+    sentinel keys ``CFG.EXIT`` / ``CFG.EXC_EXIT`` holding the joined
+    states reaching each exit.  ``exc_transfer`` (default: same as
+    ``transfer``) produces the state propagated along *exception* edges;
+    a resource rule passes "in-state minus kills" there, because a
+    statement that raises did not complete its acquisition but a
+    best-effort release still counts.
+    """
+    n = len(cfg.nodes)
+    state_in: dict[int, frozenset[str]] = {i: frozenset() for i in range(n)}
+    state_in[CFG.EXIT] = frozenset()
+    state_in[CFG.EXC_EXIT] = frozenset()
+    for node in cfg.entry:
+        state_in[node] = entry_state
+    # Seed with every node (chaotic iteration): a transfer that *gains*
+    # state (an acquisition) must run even when its in-state never
+    # changes from the initial bottom.
+    worklist = list(range(n))
+    iterations = 0
+    limit = max(64, 16 * (n + 2) * (n + 2))
+    while worklist:
+        iterations += 1
+        if iterations > limit:  # pragma: no cover - safety valve
+            break
+        node = worklist.pop()
+        state_out = transfer(node, state_in[node])
+        state_exc = (
+            state_out if exc_transfer is None else exc_transfer(node, state_in[node])
+        )
+        for edges, outgoing in ((cfg.succ, state_out), (cfg.exc_succ, state_exc)):
+            for succ in edges.get(node, ()):
+                merged = state_in.get(succ, frozenset()) | outgoing
+                if merged != state_in.get(succ, frozenset()):
+                    state_in[succ] = merged
+                    if succ >= 0:
+                        worklist.append(succ)
+    return state_in

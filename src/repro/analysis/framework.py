@@ -23,23 +23,33 @@ import abc
 import ast
 import io
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.analysis.cache import AnalysisCache
+    from repro.analysis.callgraph import CallGraph
 
 __all__ = [
     "Analyzer",
     "FileReport",
     "Finding",
+    "ProjectRule",
     "Report",
     "Rule",
+    "RunResult",
+    "RunStats",
     "SourceModule",
+    "SuppressionRecord",
     "Suppressions",
     "parse_suppressions",
 ]
 
-#: ``# repro-lint: disable=RL001,RL002 -- optional reason``
+#: Directive shape: ``repro-lint: disable=RLxxx[,RLyyy] -- optional reason``
+#: (written as a ``#`` comment; ``disable-file`` widens scope to the file).
 _DIRECTIVE_RE = re.compile(
     r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
     r"(?P<rules>RL\d{3}(?:\s*,\s*RL\d{3})*)"
@@ -87,16 +97,40 @@ class SourceModule:
 
 
 @dataclass
+class SuppressionRecord:
+    """One ``# repro-lint: disable…`` directive, with its reason."""
+
+    line: int
+    scope: str  #: ``"disable"`` or ``"disable-file"``
+    rules: frozenset[str]
+    reason: str | None
+    used: bool = False  #: did this directive silence a finding this run?
+
+
+@dataclass
 class Suppressions:
     """Which rules are silenced where, parsed from lint comments."""
 
     by_line: dict[int, set[str]] = field(default_factory=dict)
     file_wide: set[str] = field(default_factory=set)
+    records: list[SuppressionRecord] = field(default_factory=list)
+    _line_records: dict[tuple[int, str], SuppressionRecord] = field(
+        default_factory=dict, repr=False
+    )
+    _file_records: dict[str, SuppressionRecord] = field(default_factory=dict, repr=False)
 
     def is_suppressed(self, finding: Finding) -> bool:
         if finding.rule_id in self.file_wide:
+            record = self._file_records.get(finding.rule_id)
+            if record is not None:
+                record.used = True
             return True
-        return finding.rule_id in self.by_line.get(finding.line, set())
+        if finding.rule_id in self.by_line.get(finding.line, set()):
+            record = self._line_records.get((finding.line, finding.rule_id))
+            if record is not None:
+                record.used = True
+            return True
+        return False
 
 
 def parse_suppressions(text: str) -> Suppressions:
@@ -116,14 +150,27 @@ def parse_suppressions(text: str) -> Suppressions:
         if match is None:
             continue
         rules = {r.strip() for r in match.group("rules").split(",")}
+        record = SuppressionRecord(
+            line=token.start[0],
+            scope=match.group("scope"),
+            rules=frozenset(rules),
+            reason=match.group("reason"),
+        )
+        out.records.append(record)
         if match.group("scope") == "disable-file":
             out.file_wide |= rules
+            for rule_id in rules:
+                out._file_records.setdefault(rule_id, record)
         else:
             out.by_line.setdefault(token.start[0], set()).update(rules)
+            for rule_id in rules:
+                out._line_records.setdefault((token.start[0], rule_id), record)
             # A directive standing alone on its line covers the next
             # line too, so long statements can carry a full reason.
             if token.line.lstrip().startswith("#"):
                 out.by_line.setdefault(token.start[0] + 1, set()).update(rules)
+                for rule_id in rules:
+                    out._line_records.setdefault((token.start[0] + 1, rule_id), record)
     return out
 
 
@@ -152,6 +199,27 @@ class Rule(abc.ABC):
         )
 
 
+class ProjectRule(abc.ABC):
+    """One invariant checked over the whole project at once.
+
+    Project rules see the :class:`~repro.analysis.callgraph.CallGraph`
+    built from every scanned module's summary, so they can chase an
+    obligation across files (RL007's lock discipline, RL008's event-loop
+    reachability).  Findings anchor to a path+line like any other and
+    pass through the same per-file suppression machinery.
+    """
+
+    rule_id: str = "RL999"
+    title: str = ""
+
+    @abc.abstractmethod
+    def check_project(self, graph: "CallGraph") -> Iterator[Finding]:
+        """Yield every violation across the project call graph."""
+
+    def finding_at(self, path: str, line: int, col: int, message: str) -> Finding:
+        return Finding(rule_id=self.rule_id, path=path, line=line, col=col, message=message)
+
+
 @dataclass(frozen=True)
 class FileReport:
     """One file's outcome: surviving findings + how many were silenced."""
@@ -161,31 +229,104 @@ class FileReport:
 
 
 @dataclass(frozen=True)
+class RunStats:
+    """Where a run spent its time, and what the cache did for it."""
+
+    n_files: int
+    cache_hits: int
+    cache_misses: int
+    parse_ms: float  #: parse + per-module rules + summaries (cacheable)
+    project_ms: float  #: call-graph build + project rules
+    total_ms: float
+
+    def format(self) -> str:
+        return (
+            f"{self.n_files} file(s): parse+local {self.parse_ms:.1f} ms, "
+            f"call-graph+flow {self.project_ms:.1f} ms, total {self.total_ms:.1f} ms "
+            f"(cache: {self.cache_hits} hit(s), {self.cache_misses} miss(es))"
+        )
+
+
+@dataclass(frozen=True)
 class Report:
     """A whole run: every unsuppressed finding across the scanned files."""
 
     findings: tuple[Finding, ...]
     n_files: int
     n_suppressed: int
+    stats: RunStats | None = None
 
     @property
     def ok(self) -> bool:
         return not self.findings
 
 
-class Analyzer:
-    """Run a rule set over source text or file trees."""
+@dataclass(frozen=True)
+class RunResult:
+    """A report plus the per-file suppression state behind it."""
 
-    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+    report: Report
+    suppressions: dict[str, Suppressions]
+
+
+class Analyzer:
+    """Run per-module rules and project (call-graph) rules over a tree."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule] | None = None,
+        project_rules: "Sequence[ProjectRule] | None" = None,
+    ) -> None:
         if rules is None:
             from repro.analysis.rules import default_rules
 
             rules = default_rules()
+        if project_rules is None:
+            from repro.analysis.flowrules import default_project_rules
+
+            project_rules = default_project_rules()
         self.rules: tuple[Rule, ...] = tuple(rules)
+        self.project_rules: tuple[ProjectRule, ...] = tuple(project_rules)
+
+    def signature(self) -> str:
+        """Fingerprint of the active rule set (keys the analysis cache)."""
+        names = [f"{r.rule_id}:{type(r).__name__}" for r in self.rules]
+        names += [f"{r.rule_id}:{type(r).__name__}" for r in self.project_rules]
+        return ",".join(sorted(names))
 
     def check_source(self, text: str, path: str) -> FileReport:
         """Lint one module given as text (``path`` scopes path-aware
-        rules and labels findings — it need not exist on disk)."""
+        rules and labels findings — it need not exist on disk).
+
+        Project rules run over a single-module call graph, so fixtures
+        exercise RL007+ as long as caller and callee share the file.
+        """
+        from repro.analysis.callgraph import CallGraph, summarize_module
+
+        posix = path.replace("\\", "/")
+        module, parse_findings = self._parse(text, posix)
+        suppressions = parse_suppressions(text)
+        raw: list[Finding] = list(parse_findings)
+        if module is not None:
+            for rule in self.rules:
+                raw.extend(rule.check(module))
+            graph = CallGraph([summarize_module(module)])
+            for project_rule in self.project_rules:
+                raw.extend(project_rule.check_project(graph))
+        kept: list[Finding] = []
+        n_suppressed = 0
+        for finding in raw:
+            if suppressions.is_suppressed(finding):
+                n_suppressed += 1
+            else:
+                kept.append(finding)
+        kept.sort(key=lambda f: (f.line, f.col, f.rule_id))
+        return FileReport(findings=tuple(kept), n_suppressed=n_suppressed)
+
+    @staticmethod
+    def _parse(
+        text: str, path: str
+    ) -> "tuple[SourceModule | None, tuple[Finding, ...]]":
         try:
             tree = ast.parse(text, filename=path)
         except SyntaxError as exc:
@@ -196,35 +337,91 @@ class Analyzer:
                 col=(exc.offset or 1) - 1,
                 message=f"file does not parse: {exc.msg}",
             )
-            return FileReport(findings=(finding,), n_suppressed=0)
-        module = SourceModule(path=path, text=text, tree=tree)
-        suppressions = parse_suppressions(text)
+            return None, (finding,)
+        return SourceModule(path=path, text=text, tree=tree), ()
+
+    def check_paths(
+        self, paths: Iterable[str | Path], cache: "AnalysisCache | None" = None
+    ) -> Report:
+        """Lint files and directory trees (``.py`` files, recursively)."""
+        return self.run(paths, cache=cache).report
+
+    def run(
+        self, paths: Iterable[str | Path], cache: "AnalysisCache | None" = None
+    ) -> RunResult:
+        """Full two-phase run, keeping per-file suppression state.
+
+        Phase one parses each file, runs the per-module rules and
+        extracts its call-graph summary — all keyed by content hash in
+        the optional ``cache``, so unchanged files skip the parse
+        entirely.  Phase two builds the project call graph from the
+        summaries and runs the project rules.  Suppressions are always
+        re-read from the live text (they are comments; the cached
+        findings are pre-suppression).
+        """
+        from repro.analysis.callgraph import CallGraph, ModuleSummary, summarize_module
+
+        started = time.perf_counter()
+        files = sorted(self._collect(paths))
+        suppressions: dict[str, Suppressions] = {}
+        raw_findings: list[Finding] = []
+        summaries: list[ModuleSummary] = []
+        hits = misses = 0
+        for file_path in files:
+            text = file_path.read_text(encoding="utf-8")
+            posix = str(file_path).replace("\\", "/")
+            suppressions[posix] = parse_suppressions(text)
+            cached = cache.lookup(posix, text, self.signature()) if cache else None
+            if cached is not None:
+                hits += 1
+                file_findings, summary = cached
+            else:
+                misses += 1
+                module, file_findings_t = self._parse(text, posix)
+                file_findings = list(file_findings_t)
+                summary = None
+                if module is not None:
+                    for rule in self.rules:
+                        file_findings.extend(rule.check(module))
+                    summary = summarize_module(module)
+                if cache is not None:
+                    cache.store(posix, text, self.signature(), file_findings, summary)
+            raw_findings.extend(file_findings)
+            if summary is not None:
+                summaries.append(summary)
+        parse_done = time.perf_counter()
+
+        graph = CallGraph(summaries)
+        for project_rule in self.project_rules:
+            raw_findings.extend(project_rule.check_project(graph))
+        project_done = time.perf_counter()
+
+        if cache is not None:
+            cache.save()
         kept: list[Finding] = []
         n_suppressed = 0
-        for rule in self.rules:
-            for finding in rule.check(module):
-                if suppressions.is_suppressed(finding):
-                    n_suppressed += 1
-                else:
-                    kept.append(finding)
-        kept.sort(key=lambda f: (f.line, f.col, f.rule_id))
-        return FileReport(findings=tuple(kept), n_suppressed=n_suppressed)
-
-    def check_paths(self, paths: Iterable[str | Path]) -> Report:
-        """Lint files and directory trees (``.py`` files, recursively)."""
-        files = sorted(self._collect(paths))
-        findings: list[Finding] = []
-        n_suppressed = 0
-        for file_path in files:
-            report = self.check_source(
-                file_path.read_text(encoding="utf-8"), str(file_path)
-            )
-            findings.extend(report.findings)
-            n_suppressed += report.n_suppressed
-        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-        return Report(
-            findings=tuple(findings), n_files=len(files), n_suppressed=n_suppressed
+        for finding in raw_findings:
+            sup = suppressions.get(finding.path)
+            if sup is not None and sup.is_suppressed(finding):
+                n_suppressed += 1
+            else:
+                kept.append(finding)
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        stats = RunStats(
+            n_files=len(files),
+            cache_hits=hits,
+            cache_misses=misses,
+            parse_ms=(parse_done - started) * 1000.0,
+            project_ms=(project_done - parse_done) * 1000.0,
+            total_ms=(time.perf_counter() - started) * 1000.0,
         )
+        report = Report(
+            findings=tuple(kept),
+            n_files=len(files),
+            n_suppressed=n_suppressed,
+            stats=stats,
+        )
+        return RunResult(report=report, suppressions=suppressions)
 
     @staticmethod
     def _collect(paths: Iterable[str | Path]) -> Iterator[Path]:

@@ -5,6 +5,10 @@ rests on; the module docstring of :mod:`repro.analysis` has the index.
 Rules are deliberately syntactic — they read the AST, never import the
 code under analysis — so the linter runs on any tree, including broken
 checkouts, and cannot be fooled by import-time side effects.
+
+The flow-sensitive rules (RL009/RL010) and the interprocedural project
+rules (RL007/RL008) live in :mod:`repro.analysis.flowrules`; the local
+pair joins :func:`default_rules` here so they share the per-file cache.
 """
 
 from __future__ import annotations
@@ -27,7 +31,12 @@ __all__ = [
 
 
 def default_rules() -> "tuple[Rule, ...]":
-    """The shipped rule set, in id order."""
+    """The shipped per-module rule set, in id order."""
+    from repro.analysis.flowrules import (
+        GenerationMonotonicityRule,
+        ResourceLifecycleRule,
+    )
+
     return (
         LockDisciplineRule(),
         MetricsVocabularyRule(),
@@ -35,6 +44,8 @@ def default_rules() -> "tuple[Rule, ...]":
         ConcurrencyHygieneRule(),
         ExecutorConstructionRule(),
         RawArrayPersistenceRule(),
+        ResourceLifecycleRule(),
+        GenerationMonotonicityRule(),
     )
 
 
@@ -457,25 +468,30 @@ class ConcurrencyHygieneRule(Rule):
         rwlock_found = False
         raw_locks: list[ast.stmt] = []
         for stmt in ast.walk(init):
-            if not isinstance(stmt, ast.Assign) or not isinstance(stmt.value, ast.Call):
+            if not isinstance(stmt, ast.Assign):
                 continue
-            callee = stmt.value.func
-            name = (
-                callee.id
-                if isinstance(callee, ast.Name)
-                else callee.attr
-                if isinstance(callee, ast.Attribute)
-                else None
-            )
-            if name in ("RWLock", "InstrumentedRWLock"):
-                rwlock_found = True
-            elif name == "Lock" or (
-                isinstance(callee, ast.Attribute)
-                and callee.attr in ("Lock", "RLock")
-                and isinstance(callee.value, ast.Name)
-                and callee.value.id == "threading"
-            ):
-                raw_locks.append(stmt)
+            # Walk the whole RHS: conditional constructions like
+            # ``InstrumentedRWLock() if sanitize else RWLock()`` count.
+            for call in ast.walk(stmt.value):
+                if not isinstance(call, ast.Call):
+                    continue
+                callee = call.func
+                name = (
+                    callee.id
+                    if isinstance(callee, ast.Name)
+                    else callee.attr
+                    if isinstance(callee, ast.Attribute)
+                    else None
+                )
+                if name in ("RWLock", "InstrumentedRWLock"):
+                    rwlock_found = True
+                elif name == "Lock" or (
+                    isinstance(callee, ast.Attribute)
+                    and callee.attr in ("Lock", "RLock")
+                    and isinstance(callee.value, ast.Name)
+                    and callee.value.id == "threading"
+                ):
+                    raw_locks.append(stmt)
         if rwlock_found:
             for stmt in raw_locks:
                 yield self.finding(

@@ -1,0 +1,78 @@
+"""Minimal SARIF 2.1.0 rendering of a lint report.
+
+Just enough of the schema for GitHub code scanning: one run, one
+driver, one rule descriptor per rule id that actually fired (plus the
+full shipped rule set so empty reports still describe the tool), and
+one result per finding with a physical location.  Paths are emitted
+relative as-is — ``repro-lint`` is always invoked from the repo root in
+CI, which is what the upload action expects.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.framework import Analyzer, Report
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+
+def render_sarif(report: Report, analyzer: "Analyzer | None" = None) -> str:
+    """The report as a SARIF 2.1.0 JSON document."""
+    titles: dict[str, str] = {}
+    if analyzer is not None:
+        for rule in (*analyzer.rules, *analyzer.project_rules):
+            titles[rule.rule_id] = rule.title
+    for finding in report.findings:
+        titles.setdefault(finding.rule_id, "")
+    rule_ids = sorted(titles)
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": titles[rule_id] or rule_id},
+        }
+        for rule_id in rule_ids
+    ]
+    index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "ruleIndex": index[finding.rule_id],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in report.findings
+    ]
+    document = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

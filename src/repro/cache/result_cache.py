@@ -53,10 +53,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.annotations import requires_lock
 from repro.core.results import RelationMatch, SearchResult
 from repro.errors import ConfigurationError
 from repro.linalg.distances import cosine_similarity
 from repro.obs import MetricsRegistry
+from repro.sanitize import lockset
 
 __all__ = [
     "CACHE_ENV",
@@ -192,18 +194,21 @@ class SemanticResultCache:
 
     # -- writer-side publication ------------------------------------------
 
+    @requires_lock("write")
     def publish_generation(self, method: str, generation: int) -> None:
         """Declare ``method``'s current store generation (writer side).
 
         Entries of other methods are untouched: an ExS-only publication
         never invalidates ANNS entries whose generation is unchanged.
         """
+        lockset.write(self, "_generations", policy="anylock")
         self._generations[method] = int(generation)
 
     def current_generation(self, method: str) -> int | None:
         """The last published generation for ``method``, if any."""
         return self._generations.get(method)
 
+    @requires_lock("write")
     def invalidate_all(self) -> None:
         """Drop everything and start a new epoch (writer side).
 
@@ -214,6 +219,8 @@ class SemanticResultCache:
         lookup keeps a coherent (now unreachable) snapshot.
         """
         dropped = sum(len(store.entries) for store in self._stores.values())
+        lockset.write(self, "_stores", policy="publish")
+        lockset.write(self, "_generations", policy="publish")
         self._epoch += 1
         self._stores = {}
         self._generations = {}
@@ -293,6 +300,7 @@ class SemanticResultCache:
 
     # -- insertion and bounds (engine reader side) ------------------------
 
+    @requires_lock("read")
     def insert(
         self,
         signature: CacheSignature,
@@ -309,6 +317,8 @@ class SemanticResultCache:
         insert whose generation disagrees with the published one (a
         standalone-cache misuse) is silently dropped.
         """
+        lockset.write(self, "_stores", policy="anylock")
+        lockset.write(self, "_generations", policy="anylock")
         current = self._generations.setdefault(signature.method, int(generation))
         if int(generation) != current:
             return

@@ -8,6 +8,7 @@ import weakref
 from collections.abc import Iterable, Sequence
 from typing import TYPE_CHECKING
 
+from repro.core.annotations import requires_lock
 from repro.core.results import BatchResult, RelationMatch, SearchResult
 from repro.core.semimg import FederationEmbeddings, RelationEmbedding
 from repro.errors import ExecutionError, NotFittedError
@@ -140,6 +141,7 @@ class SearchMethod(abc.ABC):
 
     # -- incremental lifecycle ---------------------------------------------
 
+    @requires_lock("write")
     def apply_delta(
         self,
         added: Sequence[RelationEmbedding],

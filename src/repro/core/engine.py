@@ -56,7 +56,7 @@ from repro.embedding.semantic import SemanticHashEncoder
 from repro.errors import ConfigurationError, NotFittedError, StorageError
 from repro.exec import ExecutionBackend, resolve_backend
 from repro.obs import MetricsRegistry
-from repro.sanitize import sanitize_enabled
+from repro.sanitize import lockset, sanitize_enabled
 from repro.storage import (
     SegmentWriter,
     is_snapshot,
@@ -152,6 +152,11 @@ class DiscoveryEngine:
     """
 
     METHODS = ("exs", "anns", "cts")
+
+    # Lockset-tracked swap fields (REPRO_SANITIZE=2): readers are
+    # lock-free by design, but every rebind must hold the writer side.
+    _embeddings = lockset.TrackedField("publish")
+    _sharded = lockset.TrackedField("publish")
 
     def __init__(
         self,
@@ -502,6 +507,7 @@ class DiscoveryEngine:
                     # _build_lock serializes builders, dict publication is
                     # atomic, and concurrent readers either see the built
                     # method or build it themselves.
+                    lockset.write(self, "_methods", policy="anylock")
                     self._methods[name] = method  # repro-lint: disable=RL001 -- lazy publication serialized by _build_lock; readers tolerate either state
                     self._publish_index_bytes()
         return self._methods[name]
@@ -530,6 +536,7 @@ class DiscoveryEngine:
         """Close and drop every built method (caller holds the write
         lock): pools owned by standalone methods shut down, shared
         scan buffers unlink, worker-resident shard state drops."""
+        lockset.write(self, "_methods", policy="anylock")
         for method in self._methods.values():
             method.close()
         self._methods.clear()
@@ -581,12 +588,16 @@ class DiscoveryEngine:
         delta atomically.
         """
         pairs = self._relation_pairs(relations)
-        store = self.embeddings
+        self.embeddings  # fail fast before paying for the encode
         embedded = [
             build_relation_embedding(relation_id, relation, self.encoder)
             for relation_id, relation in pairs
         ]
         with self._lifecycle_lock.write():
+            # Re-read under the lock: a concurrent index() may have
+            # swapped the store since the fail-fast check, and the delta
+            # must land in the store readers actually see.
+            store = self.embeddings
             for embedding in embedded:
                 if embedding.relation_id in store:
                     raise ConfigurationError(
@@ -599,12 +610,13 @@ class DiscoveryEngine:
     def update_relations(self, relations: RelationsLike) -> FederationDelta:
         """Re-embed revised relations and patch every built index."""
         pairs = self._relation_pairs(relations)
-        store = self.embeddings
+        self.embeddings  # fail fast before paying for the encode
         embedded = [
             build_relation_embedding(relation_id, relation, self.encoder)
             for relation_id, relation in pairs
         ]
         with self._lifecycle_lock.write():
+            store = self.embeddings  # re-read: index() may have swapped it
             for embedding in embedded:
                 store.position(embedding.relation_id)  # validate before mutating
             for embedding in embedded:
@@ -616,8 +628,9 @@ class DiscoveryEngine:
         ids = list(relation_ids)
         if len(ids) != len(set(ids)):
             raise ConfigurationError("duplicate relation ids in one delta")
-        store = self.embeddings
+        self.embeddings  # fail fast before taking the writer side
         with self._lifecycle_lock.write():
+            store = self.embeddings  # re-read: index() may have swapped it
             for relation_id in ids:
                 store.position(relation_id)  # validate before mutating
             if store.n_relations - len(ids) < 1:

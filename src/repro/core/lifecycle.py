@@ -16,64 +16,21 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, TypeVar
+from typing import Iterator
 
+from repro.core.annotations import guarded_by, monotonic, requires_lock
 from repro.core.semimg import RelationEmbedding
 from repro.errors import SanitizerError
+from repro.sanitize import lockset
 
 __all__ = [
     "FederationDelta",
     "InstrumentedRWLock",
     "RWLock",
     "guarded_by",
+    "monotonic",
     "requires_lock",
 ]
-
-_T = TypeVar("_T", bound=type)
-_F = TypeVar("_F", bound=Callable[..., object])
-
-
-def guarded_by(lock_attr: str, *attrs: str) -> Callable[[_T], _T]:
-    """Class decorator declaring attributes guarded by an RWLock.
-
-    ``@guarded_by("_lifecycle_lock", "_store", "_index")`` records that
-    ``self._store`` and ``self._index`` may only be mutated while the
-    writer side of ``self._lifecycle_lock`` is held.  The declaration is
-    free at runtime — it only stores the mapping on the class — and is
-    the anchor the RL001 lock-discipline lint rule checks statically:
-    mutations of a declared attribute outside a ``with
-    self.<lock>.write():`` block (or a ``@requires_lock("write")``
-    method) are flagged, as are public ``search*`` entry points that
-    never take the reader lock.
-    """
-
-    def decorate(cls: _T) -> _T:
-        declared = dict(getattr(cls, "__guarded_attrs__", {}))
-        for attr in attrs:
-            declared[attr] = lock_attr
-        cls.__guarded_attrs__ = declared  # type: ignore[attr-defined]
-        return cls
-
-    return decorate
-
-
-def requires_lock(mode: str) -> Callable[[_F], _F]:
-    """Method decorator: the caller must already hold the lock.
-
-    ``mode`` is ``"read"`` or ``"write"``.  Like :func:`guarded_by`
-    this is a zero-cost declaration consumed by the RL001 lint rule: a
-    ``@requires_lock("write")`` method is treated as statically holding
-    the writer lock, so its guarded-attribute mutations pass, and the
-    obligation moves to its callers.
-    """
-    if mode not in ("read", "write"):
-        raise ValueError("requires_lock mode must be 'read' or 'write'")
-
-    def decorate(func: _F) -> _F:
-        func.__requires_lock__ = mode  # type: ignore[attr-defined]
-        return func
-
-    return decorate
 
 
 @dataclass(frozen=True)
@@ -199,11 +156,13 @@ class InstrumentedRWLock(RWLock):
                 self._cond.wait()
             self._readers += 1
         self._holds.read += 1
+        lockset.note_acquire(self, exclusive=False)
 
     def release_read(self) -> None:
         if not self._holds.read:
             raise SanitizerError("release of a reader lock this thread does not hold")
         self._holds.read -= 1
+        lockset.note_release(self, exclusive=False)
         with self._cond:
             self._readers -= 1
             if not self._readers:
@@ -233,11 +192,13 @@ class InstrumentedRWLock(RWLock):
                 self._writers_waiting -= 1
             self._writing = True
         self._holds.write = True
+        lockset.note_acquire(self, exclusive=True)
 
     def release_write(self) -> None:
         if not self._holds.write:
             raise SanitizerError("release of a writer lock this thread does not hold")
         self._holds.write = False
+        lockset.note_release(self, exclusive=True)
         with self._cond:
             self._writing = False
             self._cond.notify_all()

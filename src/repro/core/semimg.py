@@ -21,6 +21,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.annotations import monotonic, requires_lock
 from repro.datamodel.relation import Federation, Relation
 from repro.embedding.base import SentenceEncoder
 from repro.errors import ConfigurationError
@@ -123,6 +124,7 @@ def build_relation_embedding(
     )
 
 
+@monotonic("generation")
 @dataclass
 class FederationEmbeddings:
     """Mutable semImg store of a whole federation plus its encoder.
@@ -213,6 +215,7 @@ class FederationEmbeddings:
             )
         return embedding
 
+    @requires_lock("write")
     def add_relation(
         self, relation_id: str, relation: "Relation | RelationEmbedding"
     ) -> RelationEmbedding:
@@ -225,6 +228,7 @@ class FederationEmbeddings:
         self.generation += 1
         return embedding
 
+    @requires_lock("write")
     def update_relation(
         self, relation_id: str, relation: "Relation | RelationEmbedding"
     ) -> RelationEmbedding:
@@ -235,6 +239,7 @@ class FederationEmbeddings:
         self.generation += 1
         return embedding
 
+    @requires_lock("write")
     def remove_relation(self, relation_id: str) -> RelationEmbedding:
         """Retire one relation; returns its (now detached) embedding."""
         pos = self.position(relation_id)
@@ -402,28 +407,35 @@ def _load_snapshot(
     backing: ArrayBuffer = (
         snapshot.mapped("vectors") if mmap else PlainBuffer(snapshot.array("vectors"))
     )
-    matrix = backing.array
-    relations: list[RelationEmbedding] = []
-    start = 0
-    for i, relation_id in enumerate(doc["ids"]):
-        stop = start + int(sizes[i])
-        relations.append(
-            RelationEmbedding(
-                relation_id=str(relation_id),
-                values=tuple(str(v) for v in doc["values"][i]),
-                attr_names=tuple(str(n) for n in doc["names"][i]),
-                vectors=matrix[start:stop],
-                counts=counts[start:stop],
+    try:
+        matrix = backing.array
+        relations: list[RelationEmbedding] = []
+        start = 0
+        for i, relation_id in enumerate(doc["ids"]):
+            stop = start + int(sizes[i])
+            relations.append(
+                RelationEmbedding(
+                    relation_id=str(relation_id),
+                    values=tuple(str(v) for v in doc["values"][i]),
+                    attr_names=tuple(str(n) for n in doc["names"][i]),
+                    vectors=matrix[start:stop],
+                    counts=counts[start:stop],
+                )
             )
+            start = stop
+        embeddings = FederationEmbeddings(
+            relations=relations,
+            encoder=encoder,
+            build_seconds=float(meta.get("build_seconds", 0.0)),
+            generation=snapshot.generation,
+            allow_empty=allow_empty,
         )
-        start = stop
-    embeddings = FederationEmbeddings(
-        relations=relations,
-        encoder=encoder,
-        build_seconds=float(meta.get("build_seconds", 0.0)),
-        generation=snapshot.generation,
-        allow_empty=allow_empty,
-    )
+    except BaseException:
+        # A malformed document must not strand the mapped pages: until
+        # adopt_backing() the store owns no reference and nobody else
+        # would ever close this buffer.
+        backing.close()
+        raise
     embeddings.adopt_backing(backing)
     return embeddings
 

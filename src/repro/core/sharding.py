@@ -46,12 +46,14 @@ from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.core.annotations import requires_lock
 from repro.core.anns import ANNSearch
 from repro.core.base import SearchMethod
 from repro.core.results import RelationMatch
 from repro.core.semimg import FederationEmbeddings, RelationEmbedding
 from repro.errors import ConfigurationError
 from repro.exec import ExecutionBackend
+from repro.sanitize import lockset
 from repro.vectordb.collection import ScoredPoint
 
 __all__ = [
@@ -210,6 +212,7 @@ class ShardedStore:
             slot(relation_id)[2].append(relation_id)
         return per_shard
 
+    @requires_lock("write")
     def apply_delta(
         self,
         added: Sequence[RelationEmbedding],
@@ -218,6 +221,7 @@ class ShardedStore:
     ) -> dict[int, ShardDelta]:
         """Mutate the owning shard stores (the global store is already
         mutated by the engine) and return the per-shard routing."""
+        lockset.write(self, "shards", policy="publish")
         routed = self.route(added, updated, removed)
         for shard, (to_add, to_update, to_remove) in routed.items():
             store = self.shards[shard]
@@ -346,6 +350,7 @@ class ShardedSearch(SearchMethod):
 
     # -- incremental lifecycle ---------------------------------------------
 
+    @requires_lock("write")
     def _apply_delta(
         self,
         added: list[RelationEmbedding],

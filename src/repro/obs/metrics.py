@@ -19,9 +19,10 @@ thread pool, and every chunk reports into the shared registry.
 from __future__ import annotations
 
 import math
-import threading
 import time
 from typing import Any, Iterator
+
+from repro.sanitize import lockset
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "Timer"]
 
@@ -29,18 +30,19 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "Timer"]
 class Counter:
     """A monotonically increasing event counter."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "_value", "_lock", "__weakref__")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0
-        self._lock = threading.Lock()
+        self._lock = lockset.tracked_lock()
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
         if amount < 0:
             raise ValueError("counters only increase; use reset() to zero")
         with self._lock:
+            lockset.write(self, "_value")
             self._value += amount
 
     @property
@@ -53,6 +55,7 @@ class Counter:
 
     def reset(self) -> None:
         with self._lock:
+            lockset.write(self, "_value")
             self._value = 0
 
     def __repr__(self) -> str:
@@ -68,15 +71,16 @@ class Gauge:
     since its last re-cluster — and each :meth:`set` replaces the last.
     """
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "_value", "_lock", "__weakref__")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = lockset.tracked_lock()
 
     def set(self, value: float) -> None:
         with self._lock:
+            lockset.write(self, "_value")
             self._value = float(value)
 
     @property
@@ -87,6 +91,7 @@ class Gauge:
 
     def reset(self) -> None:
         with self._lock:
+            lockset.write(self, "_value")
             self._value = 0.0
 
     def __repr__(self) -> str:
@@ -101,15 +106,16 @@ class Histogram:
     than approximated by fixed buckets.
     """
 
-    __slots__ = ("name", "_values", "_lock")
+    __slots__ = ("name", "_values", "_lock", "__weakref__")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._values: list[float] = []
-        self._lock = threading.Lock()
+        self._lock = lockset.tracked_lock()
 
     def observe(self, value: float) -> None:
         with self._lock:
+            lockset.write(self, "_values")
             self._values.append(float(value))
 
     @property
@@ -157,6 +163,7 @@ class Histogram:
 
     def reset(self) -> None:
         with self._lock:
+            lockset.write(self, "_values")
             self._values.clear()
 
     def __repr__(self) -> str:
@@ -195,13 +202,14 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
-        self._lock = threading.Lock()
+        self._lock = lockset.tracked_lock()
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter called ``name``."""
         with self._lock:
             counter = self._counters.get(name)
             if counter is None:
+                lockset.write(self, "_counters")
                 counter = self._counters[name] = Counter(name)
             return counter
 
@@ -210,6 +218,7 @@ class MetricsRegistry:
         with self._lock:
             gauge = self._gauges.get(name)
             if gauge is None:
+                lockset.write(self, "_gauges")
                 gauge = self._gauges[name] = Gauge(name)
             return gauge
 
@@ -218,6 +227,7 @@ class MetricsRegistry:
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
+                lockset.write(self, "_histograms")
                 histogram = self._histograms[name] = Histogram(name)
             return histogram
 

@@ -1,7 +1,7 @@
-"""Runtime numeric sanitizers for the fused-kernel boundaries.
+"""Runtime sanitizers complementing the static invariants.
 
 ``REPRO_SANITIZE=1`` (or ``DiscoveryEngine(sanitize=True)``) arms two
-runtime checks that complement the static invariants enforced by
+runtime checks that complement the static rules in
 :mod:`repro.analysis`:
 
 * **operand guards** — before a fused kernel runs (the ExS
@@ -14,7 +14,15 @@ runtime checks that complement the static invariants enforced by
   per-thread held state and raises on reentrancy, double-release and
   reader-starvation instead of deadlocking.
 
-This module is dependency-free (numpy + stdlib only) so the vector
+``REPRO_SANITIZE=2`` additionally arms the Eraser-style lockset race
+detector in :mod:`repro.sanitize.lockset`: instrumented shared-state
+accesses (the engine's swap fields, cache stores, shard maps, metrics
+internals) intersect the set of locks each thread holds, and a field
+whose candidate lockset goes empty across threads raises
+:class:`~repro.errors.SanitizerError` at the racing access.  Level 2 is
+a strict superset of level 1.
+
+This package is dependency-light (numpy + stdlib only) so the vector
 database and the core kernels can both import it without cycles.
 """
 
@@ -26,8 +34,9 @@ from typing import Any
 import numpy as np
 
 from repro.errors import SanitizerError
+from repro.sanitize import lockset
 
-__all__ = ["guard_operands", "sanitize_enabled"]
+__all__ = ["guard_operands", "lockset", "sanitize_enabled", "sanitize_level"]
 
 #: Environment switch; any value other than ""/"0"/"false"/"no" arms it.
 ENV_VAR = "REPRO_SANITIZE"
@@ -36,6 +45,22 @@ ENV_VAR = "REPRO_SANITIZE"
 def sanitize_enabled() -> bool:
     """Whether ``REPRO_SANITIZE`` requests sanitizer mode."""
     return os.environ.get(ENV_VAR, "").strip().lower() not in ("", "0", "false", "no")
+
+
+def sanitize_level() -> int:
+    """The requested sanitizer level: 0 (off), 1 (guards), 2 (+lockset).
+
+    Any truthy value arms level 1, so historical ``REPRO_SANITIZE=1`` /
+    ``=true`` usage is unchanged; ``REPRO_SANITIZE=2`` (or higher) also
+    arms the lockset race detector.
+    """
+    raw = os.environ.get(ENV_VAR, "").strip().lower()
+    if raw in ("", "0", "false", "no"):
+        return 0
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
 
 
 def guard_operands(

@@ -240,6 +240,7 @@ class ServingEngine:
             self.metrics.counter("serving.throttled").inc()
             self.metrics.counter(f"serving.tenant.{tenant}.throttled").inc()
             raise
+        # repro-lint: disable=RL008 -- deliberate: the lock-free cache probe is one bounded GEMM over at most cache-capacity query vectors (micro-seconds), cheaper on-loop than an executor round-trip
         cached = self._cached_result(query, method=method, k=k, h=h)
         if cached is not None:
             self.metrics.counter("serving.submitted").inc()

@@ -1,0 +1,53 @@
+"""Known-bad fixture for RL007: @requires_lock callees, lockless callers.
+
+Line numbers are asserted exactly in tests/test_analysis.py — keep the
+layout stable when editing.
+"""
+
+from repro.core.annotations import requires_lock
+from repro.core.lifecycle import RWLock
+
+
+class BadFederation:
+    def __init__(self):
+        self._lock = RWLock()
+        self._rows = {}
+
+    @requires_lock("write")
+    def _apply(self, delta):
+        self._rows.update(delta)
+
+    @requires_lock("read")
+    def _snapshot(self):
+        return dict(self._rows)
+
+    def apply_unlocked(self, delta):
+        self._apply(delta)  # line 25: no lock held
+
+    def apply_under_read(self, delta):
+        with self._lock.read():
+            self._apply(delta)  # line 29: read side, write required
+
+    def snapshot_unlocked(self):
+        return self._snapshot()  # line 32: no lock held
+
+    def apply_locked(self, delta):
+        with self._lock.write():
+            self._apply(delta)  # held: not flagged
+
+    @requires_lock("write")
+    def apply_annotated(self, delta):
+        self._apply(delta)  # obligation pushed to callers: not flagged
+
+    def snapshot_under_write(self):
+        with self._lock.write():
+            return self._snapshot()  # write satisfies read: not flagged
+
+
+@requires_lock("write")
+def rebuild_index(rows):
+    return sorted(rows)
+
+
+def refresh():
+    return rebuild_index({})  # line 53: bare module-local call, no lock

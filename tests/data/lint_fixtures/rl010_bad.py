@@ -1,0 +1,37 @@
+"""Known-bad fixture for RL010: @monotonic fields written wrongly.
+
+Line numbers are asserted exactly in tests/test_analysis.py — keep the
+layout stable when editing.
+"""
+
+from repro.core.annotations import monotonic, requires_lock
+from repro.core.lifecycle import RWLock
+
+
+@monotonic("generation")
+class BadVersioned:
+    def __init__(self):
+        self._lock = RWLock()
+        self.generation = 0  # construction is exempt
+
+    def bump_unlocked(self):
+        self.generation += 1  # line 18: monotonic but no writer lock
+
+    def rewind(self):
+        with self._lock.write():
+            self.generation = 0  # line 22: locked but not monotonic
+
+    @requires_lock("write")
+    def clobber(self, value):
+        self.generation = value  # line 26: unrelated value
+
+    def double_bad(self):
+        self.generation = 0  # line 29: unlocked AND non-monotonic
+
+    def bump_locked(self):
+        with self._lock.write():
+            self.generation += 1  # clean
+
+    @requires_lock("write")
+    def publish(self, staged):
+        self.generation = self.generation + staged  # clean: derived

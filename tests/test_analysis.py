@@ -110,6 +110,71 @@ class TestRuleFixtures:
         report = check_fixture("rl006_bad.py", "src/repro/storage/rl006_bad.py")
         assert report.findings == ()
 
+    def test_rl007_interprocedural_lock_discipline(self):
+        report = check_fixture("rl007_bad.py")
+        got = [(f.rule_id, f.line) for f in report.findings]
+        assert got == [
+            ("RL007", 25),
+            ("RL007", 29),
+            ("RL007", 32),
+            ("RL007", 53),
+        ]
+        assert "no lock" in report.findings[0].message
+        # Holding only the reader side is called out as such.
+        assert "only the read side" in report.findings[1].message
+        # The propagation suggestion names the annotate-the-caller fix.
+        assert "@requires_lock" in report.findings[0].message
+        # Bare module-local calls resolve too.
+        assert "rebuild_index" in report.findings[3].message
+
+    def test_rl008_event_loop_hygiene(self):
+        report = check_fixture("rl008_bad.py", "src/repro/serving/rl008_bad.py")
+        got = [(f.rule_id, f.line) for f in report.findings]
+        assert got == [("RL008", 14), ("RL008", 15), ("RL008", 20)]
+        assert "cosine_similarity()" in report.findings[0].message
+        assert "time.sleep()" in report.findings[1].message
+        # Transitive paths anchor at the call site inside the root and
+        # spell out the chain.
+        assert "read_snapshot -> _slurp -> open()" in report.findings[2].message
+
+    def test_rl008_only_roots_in_serving(self):
+        # The same source outside repro/serving/ is out of scope.
+        report = check_fixture("rl008_bad.py")
+        assert report.findings == ()
+
+    def test_rl009_resource_lifecycle(self):
+        report = check_fixture("rl009_bad.py")
+        got = [(f.rule_id, f.line) for f in report.findings]
+        assert got == [
+            ("RL009", 12),
+            ("RL009", 18),
+            ("RL009", 25),
+            ("RL009", 29),
+        ]
+        assert "may never be released" in report.findings[0].message
+        # Releases on the happy path only: flagged for the except edge.
+        assert "exception escapes" in report.findings[1].message
+        assert "discarded immediately" in report.findings[2].message
+        # SegmentWriter is exempt on exceptional paths but not on
+        # normal fall-through.
+        assert "writer handle" in report.findings[3].message
+
+    def test_rl010_generation_monotonicity(self):
+        report = check_fixture("rl010_bad.py")
+        got = [(f.rule_id, f.line) for f in report.findings]
+        assert got == [
+            ("RL010", 18),
+            ("RL010", 22),
+            ("RL010", 26),
+            ("RL010", 29),
+            ("RL010", 29),
+        ]
+        assert "outside the writer lock" in report.findings[0].message
+        assert "unrelated value" in report.findings[1].message
+        # An unlocked overwrite earns both findings on one line.
+        assert "outside the writer lock" in report.findings[3].message
+        assert "unrelated value" in report.findings[4].message
+
     def test_syntax_error_is_a_finding_not_a_crash(self):
         report = Analyzer().check_source("def broken(:\n", "x.py")
         assert [f.rule_id for f in report.findings] == ["RL000"]
@@ -201,9 +266,23 @@ class TestCleanTree:
         assert report.ok, f"unsuppressed lint findings:\n{formatted}"
         assert report.n_files > 80
 
+    def test_benchmarks_are_clean(self):
+        report = Analyzer().check_paths([REPO_ROOT / "benchmarks"])
+        formatted = "\n".join(f.format() for f in report.findings)
+        assert report.ok, f"unsuppressed lint findings:\n{formatted}"
+        assert report.n_files > 10
+
     def test_cli_exit_zero_on_src(self, capsys):
         assert lint_main([str(SRC)]) == 0
         assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_no_suppression_is_unused(self, capsys):
+        # Satellite of the audit: a directive that silences nothing is
+        # dead weight and must be removed, not carried along.
+        assert lint_main([str(SRC), str(REPO_ROOT / "benchmarks"), "--list-suppressions"]) == 0
+        out = capsys.readouterr().out
+        assert ", 0 unused" in out.strip().splitlines()[-1]
+        assert "UNUSED" not in out
 
 
 class TestCli:
@@ -223,11 +302,116 @@ class TestCli:
         assert {f["rule"] for f in payload["findings"]} == {"RL004"}
         assert all({"path", "line", "col", "message"} <= set(f) for f in payload["findings"])
 
+    def test_sarif_format(self, capsys):
+        code = lint_main([str(FIXTURES / "rl004_bad.py"), "--format=sarif"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert "RL004" in rule_ids
+        assert len(run["results"]) == 4
+        result = run["results"][0]
+        assert result["ruleId"] == "RL004"
+        assert rule_ids[result["ruleIndex"]] == "RL004"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 12
+        assert region["startColumn"] >= 1  # SARIF columns are 1-based
+
+    def test_sarif_empty_report_still_describes_the_tool(self, capsys, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        assert lint_main([str(clean), "--format=sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        (run,) = doc["runs"]
+        assert run["results"] == []
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"RL001", "RL007", "RL008", "RL009", "RL010"} <= rule_ids
+
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        for rule_id in (
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+            "RL008",
+            "RL009",
+            "RL010",
+        ):
             assert rule_id in out
+
+    def test_rules_flag_filters(self, capsys):
+        # The RL004 fixture is clean under every other rule.
+        code = lint_main([str(FIXTURES / "rl004_bad.py"), "--rules", "RL001"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_unknown_rule_id_exits_two(self, capsys):
+        assert lint_main(["--rules", "RL999", str(FIXTURES)]) == 2
+        assert "RL999" in capsys.readouterr().err
+
+    def test_stats_flag(self, capsys):
+        lint_main([str(FIXTURES / "rl004_bad.py"), "--stats"])
+        err = capsys.readouterr().err
+        assert "1 file(s)" in err
+        assert "call-graph" in err
+
+    def test_list_suppressions_reports_usage(self, capsys, tmp_path):
+        target = tmp_path / "module.py"
+        target.write_text(
+            "class C:\n"
+            "    # repro-lint: disable=RL004 -- fixture default\n"
+            "    cache = {}\n"
+            "    # repro-lint: disable=RL001 -- nothing here violates RL001\n"
+            "    x = 1\n",
+            encoding="utf-8",
+        )
+        assert lint_main([str(target), "--list-suppressions"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert any("used" in line and "RL004" in line for line in lines)
+        assert any("UNUSED" in line and "RL001" in line for line in lines)
+        assert lines[-1] == "2 suppression(s), 1 unused"
+
+    def test_cache_round_trip(self, capsys, tmp_path):
+        cache_file = tmp_path / "lint-cache.json"
+        fixture = str(FIXTURES / "rl004_bad.py")
+        code = lint_main([fixture, "--cache", str(cache_file), "--stats"])
+        cold = capsys.readouterr()
+        assert code == 1
+        assert cache_file.exists()
+        assert "1 miss(es)" in cold.err
+        code = lint_main([fixture, "--cache", str(cache_file), "--stats"])
+        warm = capsys.readouterr()
+        assert code == 1
+        assert "1 hit(s)" in warm.err
+        # Warm findings match cold findings exactly.
+        assert warm.out == cold.out
+
+    def test_cache_respects_live_suppressions(self, tmp_path, capsys):
+        # Findings are cached pre-suppression and the directive filter
+        # runs on the live text: adding a disable comment flips the
+        # verdict even with a populated cache in play.
+        cache_file = tmp_path / "lint-cache.json"
+        target = tmp_path / "module.py"
+        body = "class C:\n    cache = {}\n"
+        target.write_text(body, encoding="utf-8")
+        assert lint_main([str(target), "--cache", str(cache_file)]) == 1
+        capsys.readouterr()
+        target.write_text(
+            "# repro-lint: disable-file=RL004 -- testing live suppressions\n" + body,
+            encoding="utf-8",
+        )
+        assert lint_main([str(target), "--cache", str(cache_file)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
 
     def test_bad_path_exits_two(self, capsys):
         assert lint_main(["no_such_thing.txt"]) == 2

@@ -1,0 +1,321 @@
+"""repro.analysis.flow + callgraph: the machinery under RL007-RL010.
+
+CFG construction (branches, loops, try/finally routing), the forward
+worklist solver, name-based call-graph resolution, and a cross-module
+RL007 run over a real temporary tree (the fixture tests in
+tests/test_analysis.py cover the single-file path).
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Analyzer
+from repro.analysis.callgraph import CallGraph, summarize_module
+from repro.analysis.flow import CFG, build_cfg, solve_forward
+from repro.analysis.framework import SourceModule
+
+
+def _func(source: str) -> ast.FunctionDef:
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return func
+
+
+def _module(source: str, path: str = "src/repro/x.py") -> SourceModule:
+    text = textwrap.dedent(source)
+    return SourceModule(path=path, text=text, tree=ast.parse(text))
+
+
+def _node_at(cfg: CFG, lineno: int) -> int:
+    for i, stmt in enumerate(cfg.nodes):
+        if stmt.lineno == lineno:
+            return i
+    raise AssertionError(f"no CFG node at line {lineno}")
+
+
+class TestCfg:
+    def test_linear_chain(self):
+        cfg = build_cfg(_func("def f():\n    a = 1\n    b = 2\n    return b\n"))
+        a, b, ret = _node_at(cfg, 2), _node_at(cfg, 3), _node_at(cfg, 4)
+        assert cfg.entry == {a}
+        assert cfg.succ[a] == {b}
+        assert cfg.succ[b] == {ret}
+        assert cfg.succ[ret] == {CFG.EXIT}
+        # Any statement may raise: every node carries an exceptional edge.
+        assert cfg.exc_succ[a] == {CFG.EXC_EXIT}
+
+    def test_if_joins_both_arms(self):
+        cfg = build_cfg(
+            _func(
+                """
+                def f(p):
+                    if p:
+                        a = 1
+                    else:
+                        b = 2
+                    c = 3
+                """
+            )
+        )
+        test = _node_at(cfg, 3)
+        a, b, c = _node_at(cfg, 4), _node_at(cfg, 6), _node_at(cfg, 7)
+        assert cfg.succ[test] == {a, b}
+        assert cfg.succ[a] == {c}
+        assert cfg.succ[b] == {c}
+
+    def test_while_has_back_edge_and_exit(self):
+        cfg = build_cfg(
+            _func(
+                """
+                def f(p):
+                    while p:
+                        a = 1
+                    b = 2
+                """
+            )
+        )
+        head, body, after = _node_at(cfg, 3), _node_at(cfg, 4), _node_at(cfg, 5)
+        assert body in cfg.succ[head]
+        assert after in cfg.succ[head]  # condition false: skip the body
+        assert cfg.succ[body] == {head}  # back edge
+
+    def test_return_never_falls_through(self):
+        cfg = build_cfg(
+            _func(
+                """
+                def f(p):
+                    if p:
+                        return 1
+                    a = 2
+                """
+            )
+        )
+        ret, a = _node_at(cfg, 4), _node_at(cfg, 5)
+        assert cfg.succ[ret] == {CFG.EXIT}
+        assert a not in cfg.succ[ret]
+
+    def test_try_finally_routes_exceptions_through_finally(self):
+        # The motivating shape: a raise inside the body must execute
+        # the finally before the exception escapes the function.
+        cfg = build_cfg(
+            _func(
+                """
+                def f():
+                    try:
+                        a = 1
+                    finally:
+                        b = 2
+                    c = 3
+                """
+            )
+        )
+        a, b, c = _node_at(cfg, 4), _node_at(cfg, 6), _node_at(cfg, 7)
+        assert cfg.exc_succ[a] == {b}  # not straight to EXC_EXIT
+        assert cfg.succ[a] == {b}
+        assert cfg.succ[b] == {c}
+        assert CFG.EXC_EXIT in cfg.exc_succ[b]  # re-raise continuation
+
+    def test_except_handler_receives_body_exceptions(self):
+        cfg = build_cfg(
+            _func(
+                """
+                def f():
+                    try:
+                        a = 1
+                    except ValueError:
+                        b = 2
+                    c = 3
+                """
+            )
+        )
+        a, handler = _node_at(cfg, 4), _node_at(cfg, 5)
+        b, c = _node_at(cfg, 6), _node_at(cfg, 7)
+        assert handler in cfg.exc_succ[a]  # body exception -> handler
+        assert cfg.succ[a] == {c}  # no exception: skip the handler
+        assert cfg.succ[handler] == {b}
+        assert cfg.succ[b] == {c}  # handler body joins after the try
+
+
+class TestSolver:
+    @staticmethod
+    def _assigned_names(source: str):
+        """Forward may-analysis: which names may be bound at each point."""
+        cfg = build_cfg(_func(source))
+
+        def transfer(node: int, state: frozenset[str]) -> frozenset[str]:
+            stmt = cfg.nodes[node]
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.targets[0], ast.Name):
+                return state | {stmt.targets[0].id}
+            return state
+
+        return solve_forward(cfg, transfer)
+
+    def test_loop_reaches_fixpoint(self):
+        states = self._assigned_names(
+            """
+            def f(p):
+                while p:
+                    x = 1
+                y = 2
+            """
+        )
+        assert {"x", "y"} <= states[CFG.EXIT]
+
+    def test_branch_union(self):
+        states = self._assigned_names(
+            """
+            def f(p):
+                if p:
+                    a = 1
+                else:
+                    b = 2
+            """
+        )
+        assert {"a", "b"} <= states[CFG.EXIT]
+
+    def test_finally_state_reaches_exceptional_exit(self):
+        states = self._assigned_names(
+            """
+            def f():
+                try:
+                    a = 1
+                finally:
+                    b = 2
+            """
+        )
+        # Exceptions escape only after the finally ran.
+        assert "b" in states[CFG.EXC_EXIT]
+
+    def test_exc_transfer_overrides_exception_edges(self):
+        cfg = build_cfg(_func("def f():\n    x = 1\n"))
+
+        def transfer(node: int, state: frozenset[str]) -> frozenset[str]:
+            return state | {"normal"}
+
+        def exc_transfer(node: int, state: frozenset[str]) -> frozenset[str]:
+            return state  # the statement never completed
+
+        states = solve_forward(cfg, transfer, exc_transfer=exc_transfer)
+        assert "normal" in states[CFG.EXIT]
+        assert "normal" not in states[CFG.EXC_EXIT]
+
+
+class TestCallGraph:
+    SOURCE = """
+    from repro.core.annotations import requires_lock
+
+
+    class Store:
+        @requires_lock("write")
+        def apply(self, delta):
+            self._commit(delta)
+
+        def _commit(self, delta):
+            pass
+
+        def refresh(self):
+            with self._lock.write():
+                self.apply({})
+
+    async def serve(store):
+        store.apply({})
+
+    def helper():
+        serve(None)
+    """
+
+    def test_summary_shape(self):
+        summary = summarize_module(_module(self.SOURCE))
+        by_name = {f.qualname: f for f in summary.functions}
+        apply_ = by_name["Store.apply"]
+        assert apply_.requires_lock == "write"
+        assert apply_.cls == "Store"
+        serve = by_name["serve"]
+        assert serve.is_async
+        # refresh's call to self.apply sits under the writer lock.
+        refresh = by_name["Store.refresh"]
+        (call,) = [c for c in refresh.calls if c.name == "apply"]
+        assert call.lock_ctx == "write"
+        assert call.receiver == "self"
+        # serve's call has an opaque receiver, no lock context.
+        (call,) = [c for c in serve.calls if c.name == "apply"]
+        assert call.receiver == "store"
+        assert call.lock_ctx is None
+
+    def test_resolution(self):
+        summary = summarize_module(_module(self.SOURCE))
+        graph = CallGraph([summary])
+        by_name = {f.qualname: f for f in summary.functions}
+        refresh, serve, helper = by_name["Store.refresh"], by_name["serve"], by_name["helper"]
+        # self.apply -> the caller's own class method, exactly.
+        (call,) = [c for c in refresh.calls if c.name == "apply"]
+        assert [f.qualname for f in graph.resolve(refresh, call)] == ["Store.apply"]
+        # store.apply -> every method named apply (over-approximation).
+        (call,) = [c for c in serve.calls if c.name == "apply"]
+        assert "Store.apply" in [f.qualname for f in graph.resolve(serve, call)]
+        # Bare call -> module-local function.
+        (call,) = [c for c in helper.calls if c.name == "serve"]
+        assert [f.qualname for f in graph.resolve(helper, call)] == ["serve"]
+
+
+class TestCrossModule:
+    def test_rl007_spans_files(self, tmp_path: Path):
+        (tmp_path / "store.py").write_text(
+            textwrap.dedent(
+                """
+                from repro.core.annotations import requires_lock
+
+
+                class Store:
+                    @requires_lock("write")
+                    def apply_delta(self, delta):
+                        pass
+                """
+            ),
+            encoding="utf-8",
+        )
+        (tmp_path / "caller.py").write_text(
+            "def push(store, delta):\n    store.apply_delta(delta)\n",
+            encoding="utf-8",
+        )
+        report = Analyzer().check_paths([tmp_path])
+        rl007 = [f for f in report.findings if f.rule_id == "RL007"]
+        assert len(rl007) == 1
+        assert rl007[0].path.endswith("caller.py")
+        assert rl007[0].line == 2
+        assert "apply_delta" in rl007[0].message
+
+    def test_annotated_caller_is_exempt_across_files(self, tmp_path: Path):
+        (tmp_path / "store.py").write_text(
+            textwrap.dedent(
+                """
+                from repro.core.annotations import requires_lock
+
+
+                class Store:
+                    @requires_lock("write")
+                    def apply_delta(self, delta):
+                        pass
+                """
+            ),
+            encoding="utf-8",
+        )
+        (tmp_path / "caller.py").write_text(
+            textwrap.dedent(
+                """
+                from repro.core.annotations import requires_lock
+
+
+                @requires_lock("write")
+                def push(store, delta):
+                    store.apply_delta(delta)
+                """
+            ),
+            encoding="utf-8",
+        )
+        report = Analyzer().check_paths([tmp_path])
+        assert [f for f in report.findings if f.rule_id == "RL007"] == []
